@@ -1,0 +1,115 @@
+// Command rajaperf-analyze composes Caliper profiles written by the
+// rajaperf driver into a Thicket and reports on them — the Go analog of
+// the paper's Thicket notebooks:
+//
+//	rajaperf-analyze -dir runs/                      # summary + stats
+//	rajaperf-analyze -dir runs/ -metric time -top 15 # slowest kernels
+//	rajaperf-analyze -dir runs/ -groupby machine     # per-machine tables
+//	rajaperf-analyze -dir runs/ -speedup SPR-DDR     # speedups vs baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"rajaperf/internal/thicket"
+)
+
+func main() {
+	var (
+		dir     = flag.String("dir", ".", "directory of .cali.json profiles")
+		metric  = flag.String("metric", "time", "metric to aggregate")
+		top     = flag.Int("top", 0, "show only the top-N nodes by mean value")
+		groupby = flag.String("groupby", "", "metadata key to group profiles by")
+		speedup = flag.String("speedup", "", "baseline machine for a speedup table")
+		tree    = flag.Int("tree", -1, "render the call tree of the given profile index")
+	)
+	flag.Parse()
+
+	if err := run(*dir, *metric, *top, *groupby, *speedup, *tree); err != nil {
+		fmt.Fprintln(os.Stderr, "rajaperf-analyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dir, metric string, top int, groupby, speedupBase string, tree int) error {
+	tk, err := thicket.FromDir(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("composed %d profiles, %d rows, %d nodes\n",
+		tk.NumProfiles(), tk.NumRows(), len(tk.Nodes()))
+	fmt.Printf("machines: %v\n", tk.MetadataColumn("machine"))
+	fmt.Printf("variants: %v\n", tk.MetadataColumn("variant"))
+
+	if tree >= 0 {
+		if tree >= tk.NumProfiles() {
+			return fmt.Errorf("profile %d out of range (%d profiles)", tree, tk.NumProfiles())
+		}
+		fmt.Print(tk.Tree(thicket.ProfileID(tree), metric))
+		return nil
+	}
+
+	if speedupBase != "" {
+		return speedupReport(tk, metric, speedupBase)
+	}
+	if groupby != "" {
+		groups := tk.GroupBy(groupby)
+		keys := make([]string, 0, len(groups))
+		for k := range groups {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("\n--- %s = %s ---\n", groupby, k)
+			printStats(groups[k], metric, top)
+		}
+		return nil
+	}
+	printStats(tk, metric, top)
+	return nil
+}
+
+func printStats(tk *thicket.Thicket, metric string, top int) {
+	stats := tk.AggregateStats(metric)
+	sort.Slice(stats, func(i, j int) bool { return stats[i].Mean > stats[j].Mean })
+	if top > 0 && top < len(stats) {
+		stats = stats[:top]
+	}
+	fmt.Printf("%-34s %5s %12s %12s %12s %12s\n",
+		"node", "count", "mean", "median", "min", "max")
+	for _, s := range stats {
+		fmt.Printf("%-34s %5d %12.6g %12.6g %12.6g %12.6g\n",
+			s.Node, s.Count, s.Mean, s.Median, s.Min, s.Max)
+	}
+}
+
+func speedupReport(tk *thicket.Thicket, metric, base string) error {
+	groups := tk.GroupBy("machine")
+	baseTk, ok := groups[base]
+	if !ok {
+		return fmt.Errorf("no profiles for baseline machine %q", base)
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		if k != base {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		sp := thicket.SpeedupTable(baseTk, groups[k], metric)
+		nodes := make([]string, 0, len(sp))
+		for n := range sp {
+			nodes = append(nodes, n)
+		}
+		sort.Strings(nodes)
+		fmt.Printf("\nspeedup of %s over %s (metric %s):\n", k, base, metric)
+		for _, n := range nodes {
+			fmt.Printf("  %-34s %8.2fx\n", n, sp[n])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+// Command rajaperf-experiments regenerates every table and figure of the
+// paper's evaluation from the modeled machines:
+//
+//	rajaperf-experiments -exp all
+//	rajaperf-experiments -exp fig9 -size 32000000
+//	rajaperf-experiments -exp table2 -execute
+//
+// Experiments: table1 table2 table3 table4 fig1 fig2 fig3 fig4 fig5 fig6
+// fig7 fig8 fig9 fig10 all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rajaperf/internal/analysis"
+	"rajaperf/internal/machine"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (table1..table4, fig1..fig10, tuning, summary, all)")
+		size    = flag.Int("size", 0, "problem size per node (0 = 1M default; paper uses 32000000)")
+		execute = flag.Bool("execute", false, "run real kernel computations in addition to the models")
+		thresh  = flag.Float64("threshold", 0, "Ward dendrogram cut distance (0 = 1.4)")
+		svgdir  = flag.String("svgdir", "", "also write figure SVGs into this directory")
+	)
+	flag.Parse()
+
+	s := analysis.NewSession(*size, *execute)
+	if err := run(s, strings.ToLower(*exp), *thresh, *size); err != nil {
+		fmt.Fprintln(os.Stderr, "rajaperf-experiments:", err)
+		os.Exit(1)
+	}
+	if *svgdir != "" {
+		paths, err := s.WriteFigures(*svgdir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rajaperf-experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d figure SVGs to %s\n", len(paths), *svgdir)
+	}
+}
+
+func run(s *analysis.Session, exp string, threshold float64, size int) error {
+	all := exp == "all"
+	did := false
+	section := func(title string) {
+		fmt.Printf("\n================ %s ================\n", title)
+	}
+
+	if all || exp == "table1" {
+		section("Table I: kernel inventory")
+		fmt.Print(analysis.Table1())
+		did = true
+	}
+	if all || exp == "table2" {
+		section("Table II: machines and achieved rates")
+		rows, err := s.Table2()
+		if err != nil {
+			return err
+		}
+		fmt.Print(analysis.RenderTable2(rows))
+		did = true
+	}
+	if all || exp == "table3" {
+		section("Table III: run parameters")
+		fmt.Print(analysis.Table3(size))
+		did = true
+	}
+	if all || exp == "table4" {
+		section("Table IV: instruction roofline metrics")
+		fmt.Print(analysis.Table4())
+		did = true
+	}
+	if all || exp == "fig1" {
+		section("Fig 1: analytic metrics per kernel")
+		fmt.Print(analysis.RenderFig1(analysis.Fig1(0)))
+		did = true
+	}
+	if all || exp == "fig2" {
+		section("Fig 2: top-down hierarchy")
+		fmt.Print(analysis.Fig2())
+		did = true
+	}
+	if all || exp == "fig3" || exp == "fig4" {
+		for _, m := range []*machine.Machine{machine.SPRDDR(), machine.SPRHBM()} {
+			if !all && ((exp == "fig3") != (m.Shorthand == "SPR-DDR")) {
+				continue
+			}
+			section(fmt.Sprintf("Fig 3/4: top-down metrics on %s", m.Shorthand))
+			rows, err := s.Topdown(m)
+			if err != nil {
+				return err
+			}
+			fmt.Print(analysis.RenderTopdown(m, rows))
+		}
+		did = true
+	}
+	if all || exp == "fig5" {
+		section("Fig 5: instruction roofline on P9-V100")
+		data, err := s.Roofline(machine.P9V100())
+		if err != nil {
+			return err
+		}
+		fmt.Print(data.Render())
+		did = true
+	}
+	if all || exp == "fig6" || exp == "fig7" || exp == "fig8" {
+		section("Fig 6-8: Ward clustering, cluster stats, parallel coordinates")
+		res, err := s.Cluster(threshold)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		did = true
+	}
+	if all || exp == "fig9" {
+		section("Fig 9: memory bound and speedups vs SPR-DDR")
+		data, err := s.Fig9()
+		if err != nil {
+			return err
+		}
+		fmt.Print(data.Render())
+		did = true
+	}
+	if all || exp == "tuning" {
+		section("Tuning: GPU block-size sweep on P9-V100")
+		data, err := s.TuningSweep(machine.P9V100(), nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(data.Render())
+		fmt.Printf("best-tuning histogram: %v\n", data.BestTuningHistogram())
+		did = true
+	}
+	if all || exp == "fig10" {
+		section("Fig 10: memory bandwidth vs FLOPS")
+		panels, err := s.Fig10()
+		if err != nil {
+			return err
+		}
+		fmt.Print(analysis.RenderFig10(panels))
+		did = true
+	}
+	if all || exp == "summary" {
+		section("Summary: the paper's conclusions, evaluated")
+		out, err := s.Summary()
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		did = true
+	}
+	if !did {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+// Command rajaperf runs the RAJA Performance Suite and writes one Caliper
+// profile per run, mirroring the C++ suite's command line:
+//
+//	rajaperf -machine SPR-DDR -variant RAJA_Seq -outdir runs/
+//	rajaperf -machine P9-V100 -variant RAJA_GPU -block 256 -size 32000000
+//	rajaperf -kernels Stream_TRIAD,Basic_DAXPY -execute
+//
+// Kernel computations execute when -execute is set (checksums recorded);
+// hardware timing and counters for the Table II machines always come from
+// the TMA/GPU models standing in for PAPI and Nsight Compute.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rajaperf/internal/caliper"
+	"rajaperf/internal/kernels"
+	"rajaperf/internal/machine"
+	"rajaperf/internal/report"
+	"rajaperf/internal/suite"
+)
+
+func main() {
+	var (
+		machName = flag.String("machine", "SPR-DDR", "target machine: SPR-DDR, SPR-HBM, P9-V100, EPYC-MI250X, Host")
+		variant  = flag.String("variant", "", "variant to run (default: the machine's Table III variant)")
+		block    = flag.Int("block", 0, "GPU block-size tuning (0 = 256)")
+		size     = flag.Int("size", 0, "problem size per node (0 = 32M)")
+		reps     = flag.Int("reps", 0, "kernel repetitions (0 = kernel defaults)")
+		workers  = flag.Int("workers", 0, "execution workers (0 = all cores)")
+		kerns    = flag.String("kernels", "", "comma-separated kernel names (empty = whole suite)")
+		group    = flag.String("group", "", "run only one group (Algorithm, Apps, Basic, Comm, Lcals, Polybench, Stream)")
+		feature  = flag.String("feature", "", "run only kernels exercising a RAJA feature (Sort, Scan, Reduction, Atomic, View, Workgroup, MPI)")
+		execute  = flag.Bool("execute", false, "run the real kernel computations")
+		outdir   = flag.String("outdir", ".", "directory for the profile file")
+		list     = flag.Bool("list", false, "list registered kernels and exit")
+		doReport = flag.Bool("report", false, "run kernels on the host across variants and print the timing + checksum reports")
+		scaling  = flag.Bool("scaling", false, "run a strong-scaling study of RAJA_OpenMP on the host (1/2/4/8 workers)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range kernels.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *doReport {
+		if err := runReport(*kerns, *size, *reps, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, "rajaperf:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *scaling {
+		names := kernels.Names()
+		if *kerns != "" {
+			names = strings.Split(*kerns, ",")
+		}
+		sz := *size
+		if sz == 0 {
+			sz = 400_000
+		}
+		counts := []int{1, 2, 4, 8}
+		rows, err := report.ScalingStudy(names, counts, sz, *reps)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rajaperf:", err)
+			os.Exit(1)
+		}
+		fmt.Print(report.RenderScaling(rows, counts))
+		return
+	}
+
+	if err := run(*machName, *variant, *block, *size, *reps, *workers,
+		*kerns, *group, *feature, *execute, *outdir); err != nil {
+		fmt.Fprintln(os.Stderr, "rajaperf:", err)
+		os.Exit(1)
+	}
+}
+
+// runReport executes the classic timing/checksum reports on the host.
+func runReport(kerns string, size, reps, workers int) error {
+	cfg := report.Config{Size: size, Reps: reps, Workers: workers}
+	if size == 0 {
+		cfg.Size = 100_000 // host-friendly default for real execution
+	}
+	if kerns != "" {
+		cfg.Kernels = strings.Split(kerns, ",")
+	}
+	rep, err := report.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Timing report (best of 2 passes):")
+	fmt.Print(rep.Timing())
+	fmt.Println("\nChecksum report:")
+	fmt.Print(rep.Checksums())
+	if failed := rep.FailedKernels(); len(failed) > 0 {
+		return fmt.Errorf("checksum mismatches: %v", failed)
+	}
+	return nil
+}
+
+func run(machName, variant string, block, size, reps, workers int,
+	kerns, group, feature string, execute bool, outdir string) error {
+
+	m, err := machine.ByName(machName)
+	if err != nil {
+		return err
+	}
+	v := suite.DefaultVariant(m)
+	if variant != "" {
+		if v, err = kernels.ParseVariant(variant); err != nil {
+			return err
+		}
+	}
+
+	var names []string
+	if kerns != "" {
+		names = strings.Split(kerns, ",")
+	}
+	if group != "" {
+		for _, k := range kernels.Names() {
+			if strings.HasPrefix(k, group+"_") {
+				names = append(names, k)
+			}
+		}
+		if len(names) == 0 {
+			return fmt.Errorf("no kernels in group %q", group)
+		}
+	}
+	if feature != "" {
+		var feat kernels.Feature
+		found := false
+		for f := kernels.FeatSort; f <= kernels.FeatMPI; f++ {
+			if strings.EqualFold(f.String(), feature) {
+				feat, found = f, true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("unknown feature %q", feature)
+		}
+		names = names[:0]
+		for _, k := range kernels.WithFeature(feat) {
+			names = append(names, k.Info().FullName())
+		}
+		if len(names) == 0 {
+			return fmt.Errorf("no kernels exercise feature %q", feature)
+		}
+	}
+
+	p, err := suite.Run(suite.Config{
+		Machine:     m,
+		Variant:     v,
+		GPUBlock:    block,
+		SizePerNode: size,
+		Reps:        reps,
+		Workers:     workers,
+		Kernels:     names,
+		Execute:     execute,
+	})
+	if err != nil {
+		return err
+	}
+
+	fname := fmt.Sprintf("%s_%s_%s%s", m.Shorthand, v, p.Metadata["tuning"], caliper.FileExt)
+	path := filepath.Join(outdir, fname)
+	if err := p.WriteFile(path); err != nil {
+		return err
+	}
+	fmt.Printf("ran %v kernels (skipped %v) on %s, wrote %s\n",
+		p.Metadata["kernels_run"], p.Metadata["kernels_skipped"], m, path)
+	return nil
+}

@@ -1,0 +1,47 @@
+// Roofline: the Fig 5 case study — place every GPU-capable kernel on the
+// instruction roofline of the modeled P9-V100, per cache level, and
+// summarize which kernels sit near the instruction roof (compute bound)
+// versus on the bandwidth diagonal (memory bound).
+//
+//	go run ./examples/roofline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rajaperf/internal/analysis"
+	"rajaperf/internal/machine"
+)
+
+func main() {
+	s := analysis.NewSession(32_000_000, false)
+	data, err := s.Roofline(machine.P9V100())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Instruction roofline, %s: max %.0f warp GIPS\n",
+		data.Machine.Shorthand, data.MaxGIPS)
+	for _, level := range []string{"L1", "L2", "HBM"} {
+		fmt.Printf("  %s ceiling: %.1f GTXN/s\n", level, data.Ceilings[level])
+	}
+
+	// Classify each kernel by its HBM-level position.
+	const hbmIdx = 2
+	fmt.Printf("\n%-34s %-10s %12s %10s  %s\n",
+		"kernel", "group", "inst/txn", "warpGIPS", "position")
+	for _, r := range data.Rows {
+		p := r.Points[hbmIdx]
+		bwLimit := p.Intensity * data.Ceilings["HBM"]
+		pos := "below roofline"
+		switch {
+		case p.GIPS > 0.7*data.MaxGIPS:
+			pos = "near instruction roof (compute bound)"
+		case p.GIPS > 0.7*bwLimit:
+			pos = "on HBM diagonal (memory bound)"
+		}
+		fmt.Printf("%-34s %-10s %12.3f %10.2f  %s\n",
+			r.Kernel, r.Group, p.Intensity, p.GIPS, pos)
+	}
+}

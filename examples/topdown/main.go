@@ -1,0 +1,58 @@
+// Topdown: the Fig 3/4 case study — run the suite through the TMA model on
+// SPR-DDR and SPR-HBM and show which kernels stop being memory bound when
+// the memory system changes, including the SCAN and GESUMMV examples the
+// paper walks through in Sec III-A.
+//
+//	go run ./examples/topdown
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"rajaperf/internal/analysis"
+	"rajaperf/internal/machine"
+)
+
+func main() {
+	s := analysis.NewSession(32_000_000, false)
+
+	ddr, err := s.Topdown(machine.SPRDDR())
+	if err != nil {
+		log.Fatal(err)
+	}
+	hbm, err := s.Topdown(machine.SPRHBM())
+	if err != nil {
+		log.Fatal(err)
+	}
+	hbmMem := map[string]float64{}
+	for _, r := range hbm {
+		hbmMem[r.Kernel] = r.Metrics.MemoryBound
+	}
+
+	type delta struct {
+		kernel   string
+		ddr, hbm float64
+	}
+	var rows []delta
+	for _, r := range ddr {
+		rows = append(rows, delta{r.Kernel, r.Metrics.MemoryBound, hbmMem[r.Kernel]})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ddr-rows[i].hbm > rows[j].ddr-rows[j].hbm })
+
+	fmt.Println("Memory-bound fraction: SPR-DDR vs SPR-HBM (sorted by relief)")
+	fmt.Printf("%-34s %8s %8s %8s\n", "kernel", "DDR", "HBM", "relief")
+	for _, r := range rows[:20] {
+		fmt.Printf("%-34s %8.3f %8.3f %8.3f\n", r.kernel, r.ddr, r.hbm, r.ddr-r.hbm)
+	}
+
+	fmt.Println("\nThe paper's Sec III-A examples:")
+	for _, r := range rows {
+		switch r.kernel {
+		case "Algorithm_SCAN", "Polybench_GESUMMV", "Algorithm_REDUCE_SUM",
+			"Polybench_2MM", "Polybench_ATAX", "Apps_MATVEC_3D_STENCIL":
+			fmt.Printf("  %-30s DDR %.3f -> HBM %.3f\n", r.kernel, r.ddr, r.hbm)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module rajaperf
+
+go 1.22

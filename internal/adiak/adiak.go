@@ -1,0 +1,60 @@
+// Package adiak records per-run metadata, standing in for the LLNL Adiak
+// library the paper uses to annotate Caliper profiles with the programming
+// model, variant, tuning, and machine of each run.
+package adiak
+
+import (
+	"os"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// Metadata is a set of named run attributes.
+type Metadata map[string]any
+
+// Collect returns the standard launch metadata Adiak gathers implicitly:
+// user, launch date, executable, and host properties.
+func Collect() Metadata {
+	host, _ := os.Hostname()
+	exe, _ := os.Executable()
+	return Metadata{
+		"launchdate": time.Now().UTC().Format(time.RFC3339),
+		"executable": exe,
+		"hostname":   host,
+		"cluster":    host,
+		"goos":       runtime.GOOS,
+		"goarch":     runtime.GOARCH,
+		"numcores":   runtime.GOMAXPROCS(0),
+	}
+}
+
+// Merge returns a copy of m overlaid with extra (extra wins on conflicts).
+func Merge(m Metadata, extra Metadata) Metadata {
+	out := make(Metadata, len(m)+len(extra))
+	for k, v := range m {
+		out[k] = v
+	}
+	for k, v := range extra {
+		out[k] = v
+	}
+	return out
+}
+
+// Keys returns m's keys sorted, for deterministic output.
+func Keys(m Metadata) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// String returns v's string value if it is a string, else "".
+func String(m Metadata, key string) string {
+	if s, ok := m[key].(string); ok {
+		return s
+	}
+	return ""
+}

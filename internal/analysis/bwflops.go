@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"rajaperf/internal/machine"
+)
+
+// Fig10Point is one kernel's achieved bandwidth and FLOP rate on one
+// machine. Kernels above the GB/s == GFLOPS diagonal are FLOP-heavy
+// (Sec V-D).
+type Fig10Point struct {
+	Kernel    string
+	GBs       float64
+	GFLOPS    float64
+	FlopHeavy bool
+}
+
+// Fig10Data holds one machine's panel of Fig 10.
+type Fig10Data struct {
+	Machine *machine.Machine
+	Points  []Fig10Point
+}
+
+// Fig10 computes achieved memory bandwidth versus achieved FLOPS for
+// every kernel on every Table II machine.
+func (s *Session) Fig10() ([]Fig10Data, error) {
+	out := make([]Fig10Data, 0, 4)
+	for _, m := range machine.Paper() {
+		tk, err := s.MachineThicket(m)
+		if err != nil {
+			return nil, err
+		}
+		panel := Fig10Data{Machine: m}
+		for _, node := range tk.Nodes() {
+			vec, ok := tk.NodeVector(node, []string{"GB/s", "GFLOPS"})
+			if !ok {
+				continue
+			}
+			panel.Points = append(panel.Points, Fig10Point{
+				Kernel:    node,
+				GBs:       vec[0],
+				GFLOPS:    vec[1],
+				FlopHeavy: vec[1] > vec[0],
+			})
+		}
+		out = append(out, panel)
+	}
+	return out, nil
+}
+
+// FlopHeavyKernels returns the kernels above the diagonal on the given
+// panel, sorted — the paper's 17-kernel list comes from SPR-DDR.
+func (d *Fig10Data) FlopHeavyKernels() []string {
+	var out []string
+	for _, p := range d.Points {
+		if p.FlopHeavy {
+			out = append(out, p.Kernel)
+		}
+	}
+	return out
+}
+
+// RenderFig10 formats all four panels.
+func RenderFig10(panels []Fig10Data) string {
+	var b strings.Builder
+	for _, panel := range panels {
+		fmt.Fprintf(&b, "\n[%s] achieved GB/s vs GFLOPS\n", panel.Machine.Shorthand)
+		fmt.Fprintf(&b, "%-34s %12s %12s %6s\n", "Kernel", "GB/s", "GFLOPS", "heavy")
+		for _, p := range panel.Points {
+			mark := ""
+			if p.FlopHeavy {
+				mark = "X"
+			}
+			fmt.Fprintf(&b, "%-34s %12.2f %12.2f %6s\n", p.Kernel, p.GBs, p.GFLOPS, mark)
+		}
+		fmt.Fprintf(&b, "FLOP-heavy kernels: %s\n",
+			strings.Join(panel.FlopHeavyKernels(), ", "))
+	}
+	return b.String()
+}

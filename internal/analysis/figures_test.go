@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rajaperf/internal/machine"
+)
+
+func TestWriteFigures(t *testing.T) {
+	dir := t.TempDir()
+	paths, err := session.WriteFigures(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 top-down + 3 roofline levels + 1 dendrogram + 4 bw/flops panels.
+	if len(paths) != 10 {
+		t.Fatalf("wrote %d figures, want 10: %v", len(paths), paths)
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := string(data)
+		if !strings.HasPrefix(s, "<svg") || !strings.HasSuffix(strings.TrimSpace(s), "</svg>") {
+			t.Errorf("%s is not a complete SVG", p)
+		}
+		if len(s) < 2000 {
+			t.Errorf("%s suspiciously small (%d bytes)", p, len(s))
+		}
+	}
+	// The top-down chart must mention kernels and categories.
+	ddr, _ := os.ReadFile(filepath.Join(dir, "fig3_topdown_SPR-DDR.svg"))
+	for _, frag := range []string{"Stream_TRIAD", "memory bound", "retiring"} {
+		if !strings.Contains(string(ddr), frag) {
+			t.Errorf("fig3 SVG missing %q", frag)
+		}
+	}
+}
+
+func TestTuningSweep(t *testing.T) {
+	data, err := session.TuningSweep(machine.P9V100(), []int{64, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Rows) < 50 {
+		t.Fatalf("tuning sweep covered %d kernels", len(data.Rows))
+	}
+	hist := data.BestTuningHistogram()
+	total := 0
+	for block, n := range hist {
+		if block != 64 && block != 256 {
+			t.Errorf("unexpected best block %d", block)
+		}
+		total += n
+	}
+	if total != len(data.Rows) {
+		t.Errorf("histogram covers %d of %d kernels", total, len(data.Rows))
+	}
+	for _, r := range data.Rows {
+		if r.Spread < 1 {
+			t.Errorf("%s spread = %v < 1", r.Kernel, r.Spread)
+		}
+		for _, block := range data.Blocks {
+			if r.Times[block] <= 0 {
+				t.Errorf("%s missing time for block %d", r.Kernel, block)
+			}
+		}
+	}
+	if !strings.Contains(data.Render(), "block_64") {
+		t.Error("render missing block column")
+	}
+	if _, err := session.TuningSweep(machine.SPRDDR(), nil); err == nil {
+		t.Error("tuning sweep must reject CPU machines")
+	}
+}

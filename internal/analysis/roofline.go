@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"rajaperf/internal/gpusim"
+	"rajaperf/internal/kernels"
+	"rajaperf/internal/machine"
+)
+
+// RooflineRow is one kernel's instruction-roofline coordinates per cache
+// level on one GPU machine (the points of Fig 5).
+type RooflineRow struct {
+	Kernel string
+	Group  kernels.Group
+	Points []gpusim.RooflinePoint // L1, L2, HBM
+}
+
+// RooflineData holds the Fig 5 dataset: kernel points plus device
+// ceilings.
+type RooflineData struct {
+	Machine  *machine.Machine
+	MaxGIPS  float64
+	Ceilings map[string]float64 // GTXN/s per level
+	Rows     []RooflineRow
+}
+
+// Roofline collects the instruction-roofline model of every GPU-capable
+// kernel on machine m — Fig 5's three panels.
+func (s *Session) Roofline(m *machine.Machine) (*RooflineData, error) {
+	if m.Kind != machine.GPU {
+		return nil, fmt.Errorf("analysis: roofline needs a GPU machine, got %s", m)
+	}
+	dev, err := gpusim.NewDevice(m)
+	if err != nil {
+		return nil, err
+	}
+	tk, err := s.MachineThicket(m)
+	if err != nil {
+		return nil, err
+	}
+	maxGIPS, ceilings := dev.Ceilings()
+	data := &RooflineData{Machine: m, MaxGIPS: maxGIPS, Ceilings: ceilings}
+
+	counterCols := []string{
+		"sm__sass_thread_inst_executed.sum",
+		"l1tex__t_sectors_pipe_lsu_mem_global_op_ld.sum",
+		"l1tex__t_sectors_pipe_lsu_mem_global_op_st.sum",
+		"lts__t_sectors_op_read.sum",
+		"lts__t_sectors_op_write.sum",
+		"lts__t_sectors_op_atom.sum",
+		"dram__sectors_read.sum",
+		"dram__sectors_write.sum",
+		"gpu__time_duration.sum",
+	}
+	for _, node := range tk.Nodes() {
+		vec, ok := tk.NodeVector(node, counterCols)
+		if !ok {
+			continue // non-kernel node or kernel without GPU variant
+		}
+		c := gpusim.Counters{
+			ThreadInstExecuted: vec[0],
+			L1GlobalLoad:       vec[1],
+			L1GlobalStore:      vec[2],
+			L2Read:             vec[3],
+			L2Write:            vec[4],
+			L2Atomic:           vec[5],
+			DRAMRead:           vec[6],
+			DRAMWrite:          vec[7],
+			TimeSec:            vec[8],
+		}
+		row := RooflineRow{
+			Kernel: node,
+			Points: dev.Roofline(gpusim.Result{Counters: c}),
+		}
+		if g, ok := kernelGroup(node); ok {
+			row.Group = g
+		}
+		data.Rows = append(data.Rows, row)
+	}
+	return data, nil
+}
+
+// kernelGroup resolves a kernel's group from its registered info.
+func kernelGroup(fullName string) (kernels.Group, bool) {
+	k, err := kernels.New(fullName)
+	if err != nil {
+		return 0, false
+	}
+	return k.Info().Group, true
+}
+
+// Render formats the Fig 5 roofline dataset, one section per cache level.
+func (d *RooflineData) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Instruction roofline on %s (max %.1f warp GIPS)\n",
+		d.Machine.Shorthand, d.MaxGIPS)
+	for li, level := range []string{"L1", "L2", "HBM"} {
+		fmt.Fprintf(&b, "\n[%s] bandwidth ceiling %.1f GTXN/s\n", level, d.Ceilings[level])
+		fmt.Fprintf(&b, "%-34s %-10s %14s %12s\n", "Kernel", "Group", "WarpInst/Txn", "WarpGIPS")
+		for _, r := range d.Rows {
+			p := r.Points[li]
+			fmt.Fprintf(&b, "%-34s %-10s %14.4f %12.3f\n", r.Kernel, r.Group, p.Intensity, p.GIPS)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,88 @@
+// Package analysis assembles the paper's experiments: it runs the suite
+// over the modeled machines (through package suite), composes the
+// resulting Caliper profiles with package thicket, and regenerates every
+// table and figure of the evaluation — the kernel inventory (Table I),
+// machine characterization (Table II/III), NCU metric set (Table IV),
+// analytic metrics (Fig 1), the TMA hierarchy and per-kernel top-down
+// breakdowns (Fig 2-4), instruction rooflines (Fig 5), Ward clustering
+// with per-cluster characterization (Fig 6-8), the memory-bound/speedup
+// panels (Fig 9), and the bandwidth-versus-FLOPS trade-off (Fig 10).
+package analysis
+
+import (
+	"fmt"
+	"sync"
+
+	"rajaperf/internal/caliper"
+	"rajaperf/internal/machine"
+	"rajaperf/internal/suite"
+	"rajaperf/internal/thicket"
+)
+
+// Session runs and caches one suite execution per machine so the
+// experiment generators can share them.
+type Session struct {
+	// SizePerNode is the total node problem size (paper: 32M).
+	SizePerNode int
+	// Reps is the per-kernel repetition override (0 = kernel default).
+	Reps int
+	// Workers bounds execution parallelism (0 = all cores).
+	Workers int
+	// Execute runs the real kernel computations in addition to the
+	// hardware models.
+	Execute bool
+
+	mu       sync.Mutex
+	profiles map[string]*caliper.Profile
+}
+
+// NewSession returns a session with the given node problem size (0 =
+// suite default).
+func NewSession(sizePerNode int, execute bool) *Session {
+	return &Session{
+		SizePerNode: sizePerNode,
+		Execute:     execute,
+		profiles:    map[string]*caliper.Profile{},
+	}
+}
+
+// Profile returns the cached suite profile for machine m, running the
+// suite on first use with the Table III variant for that machine.
+func (s *Session) Profile(m *machine.Machine) (*caliper.Profile, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p, ok := s.profiles[m.Shorthand]; ok {
+		return p, nil
+	}
+	p, err := suite.Run(suite.Config{
+		Machine:     m,
+		Variant:     suite.DefaultVariant(m),
+		SizePerNode: s.SizePerNode,
+		Reps:        s.Reps,
+		Workers:     s.Workers,
+		Execute:     s.Execute,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("analysis: running suite on %s: %w", m, err)
+	}
+	s.profiles[m.Shorthand] = p
+	return p, nil
+}
+
+// Thicket composes the profiles of the given machines.
+func (s *Session) Thicket(ms ...*machine.Machine) (*thicket.Thicket, error) {
+	ps := make([]*caliper.Profile, 0, len(ms))
+	for _, m := range ms {
+		p, err := s.Profile(m)
+		if err != nil {
+			return nil, err
+		}
+		ps = append(ps, p)
+	}
+	return thicket.FromProfiles(ps), nil
+}
+
+// MachineThicket returns a single-machine Thicket.
+func (s *Session) MachineThicket(m *machine.Machine) (*thicket.Thicket, error) {
+	return s.Thicket(m)
+}

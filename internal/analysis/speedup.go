@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"rajaperf/internal/machine"
+	"rajaperf/internal/thicket"
+)
+
+// Fig9Row is one kernel's row across the four panels of Fig 9: its
+// memory-bound fraction on SPR-DDR and its modeled speedup on the three
+// higher-bandwidth systems relative to SPR-DDR.
+type Fig9Row struct {
+	Kernel        string
+	MemoryBound   float64
+	SpeedupHBM    float64
+	SpeedupV100   float64
+	SpeedupMI250X float64
+}
+
+// Fig9Data carries the rows plus the Stream_TRIAD reference speedups (the
+// yellow lines of Fig 9).
+type Fig9Data struct {
+	Rows        []Fig9Row
+	TriadHBM    float64
+	TriadV100   float64
+	TriadMI250X float64
+}
+
+// Fig9 assembles the memory-bound/speedup panels: for every kernel, the
+// SPR-DDR memory-bound TMA metric and the speedup on SPR-HBM, P9-V100,
+// and EPYC-MI250X. Kernels lacking the target machine's variant are
+// reported with zero speedup for that panel (they do not run there).
+func (s *Session) Fig9() (*Fig9Data, error) {
+	ddr := machine.SPRDDR()
+	baseTk, err := s.MachineThicket(ddr)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := s.Topdown(ddr)
+	if err != nil {
+		return nil, err
+	}
+	mem := map[string]float64{}
+	order := make([]string, 0, len(rows))
+	for _, r := range rows {
+		mem[r.Kernel] = r.Metrics.MemoryBound
+		order = append(order, r.Kernel)
+	}
+
+	sp := map[string]map[string]float64{}
+	for _, m := range []*machine.Machine{machine.SPRHBM(), machine.P9V100(), machine.EPYCMI250X()} {
+		tk, err := s.MachineThicket(m)
+		if err != nil {
+			return nil, err
+		}
+		sp[m.Shorthand] = thicket.SpeedupTable(baseTk, tk, "time")
+	}
+
+	data := &Fig9Data{
+		TriadHBM:    sp["SPR-HBM"]["Stream_TRIAD"],
+		TriadV100:   sp["P9-V100"]["Stream_TRIAD"],
+		TriadMI250X: sp["EPYC-MI250X"]["Stream_TRIAD"],
+	}
+	for _, kname := range order {
+		data.Rows = append(data.Rows, Fig9Row{
+			Kernel:        kname,
+			MemoryBound:   mem[kname],
+			SpeedupHBM:    sp["SPR-HBM"][kname],
+			SpeedupV100:   sp["P9-V100"][kname],
+			SpeedupMI250X: sp["EPYC-MI250X"][kname],
+		})
+	}
+	return data, nil
+}
+
+// Render formats the Fig 9 panels as one table. The red 1x reference of
+// the paper is implicit; speedups above 1 are marked.
+func (d *Fig9Data) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SPR-DDR memory bound and speedups vs SPR-DDR "+
+		"(TRIAD reference: HBM %.2fx, V100 %.2fx, MI250X %.2fx)\n",
+		d.TriadHBM, d.TriadV100, d.TriadMI250X)
+	fmt.Fprintf(&b, "%-34s %9s %10s %10s %10s\n",
+		"Kernel", "membound", "xHBM", "xV100", "xMI250X")
+	mark := func(x float64) string {
+		if x > 1 {
+			return fmt.Sprintf("%9.2f*", x)
+		}
+		return fmt.Sprintf("%9.2f ", x)
+	}
+	for _, r := range d.Rows {
+		fmt.Fprintf(&b, "%-34s %9.3f %s %s %s\n",
+			r.Kernel, r.MemoryBound, mark(r.SpeedupHBM), mark(r.SpeedupV100),
+			mark(r.SpeedupMI250X))
+	}
+	return b.String()
+}

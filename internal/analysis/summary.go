@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"rajaperf/internal/machine"
+)
+
+// relErr is the relative error of got against want.
+func relErr(got, want float64) float64 {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	if want == 0 {
+		return d
+	}
+	return d / want
+}
+
+// Summary evaluates the paper's headline claims against the modeled data
+// and reports each as a PASS/FAIL line — the Sec VII conclusions, executable.
+func (s *Session) Summary() (string, error) {
+	var b strings.Builder
+	claim := func(ok bool, text string) {
+		status := "PASS"
+		if !ok {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "[%s] %s\n", status, text)
+	}
+
+	// Claim 1 (Table II consistency): probes recover the calibrated
+	// achieved rates within 25%.
+	rows, err := s.Table2()
+	if err != nil {
+		return "", err
+	}
+	okT2 := true
+	for _, r := range rows {
+		m := r.Machine
+		if relErr(r.AchievedTFLOPS, m.AchievedTFLOPSNode()) > 0.25 ||
+			relErr(r.AchievedBWTBs, m.AchievedBWTBsNode()) > 0.25 {
+			okT2 = false
+		}
+	}
+	claim(okT2, "probe kernels recover each machine's achieved FLOPS and bandwidth (Table II)")
+
+	// Claim 2: the most memory-bound cluster gains the most on every
+	// higher-bandwidth machine (Sec IV / Fig 7-8).
+	res, err := s.Cluster(0)
+	if err != nil {
+		return "", err
+	}
+	mem := res.MostMemoryBoundCluster()
+	ok2 := true
+	for _, st := range res.Stats {
+		if st.ID == mem || len(st.Kernels) == 0 {
+			continue
+		}
+		ms := res.Stats[mem]
+		if st.SpeedupHBM > ms.SpeedupHBM || st.SpeedupV100 > ms.SpeedupV100 ||
+			st.SpeedupMI250X > ms.SpeedupMI250X {
+			ok2 = false
+		}
+	}
+	claim(ok2, fmt.Sprintf(
+		"the most memory-bound cluster shows the largest gains on all HBM machines "+
+			"(%.1fx HBM, %.1fx V100, %.1fx MI250X)",
+		res.Stats[mem].SpeedupHBM, res.Stats[mem].SpeedupV100, res.Stats[mem].SpeedupMI250X))
+
+	// Claim 3: HBM relieves the memory-bound metric (Fig 3 vs 4).
+	ddrRows, err := s.Topdown(machine.SPRDDR())
+	if err != nil {
+		return "", err
+	}
+	hbmRows, err := s.Topdown(machine.SPRHBM())
+	if err != nil {
+		return "", err
+	}
+	hbmMem := map[string]float64{}
+	for _, r := range hbmRows {
+		hbmMem[r.Kernel] = r.Metrics.MemoryBound
+	}
+	relieved, membound := 0, 0
+	for _, r := range ddrRows {
+		if r.Metrics.MemoryBound > 0.5 {
+			membound++
+			if hbmMem[r.Kernel] < r.Metrics.MemoryBound {
+				relieved++
+			}
+		}
+	}
+	// The paper's own count is 40 of 67 improving (Sec V-A); HBM trades
+	// latency for bandwidth, so latency-bound kernels don't improve.
+	claim(relieved*4 >= membound*3, fmt.Sprintf(
+		"HBM lowers the memory-bound fraction of %d/%d strongly memory-bound kernels (paper: 40/67 improve)", relieved, membound))
+
+	// Claim 4: non-memory-bound kernels gain less from HBM but still
+	// benefit from higher-FLOPS GPUs (Sec V-D / abstract).
+	data, err := s.Fig9()
+	if err != nil {
+		return "", err
+	}
+	ok4 := true
+	count4 := 0
+	for _, r := range data.Rows {
+		if r.MemoryBound < 0.25 && r.SpeedupV100 > 1.2 {
+			count4++
+			if r.SpeedupHBM > 1.4 {
+				ok4 = false
+			}
+		}
+	}
+	claim(ok4 && count4 > 5, fmt.Sprintf(
+		"%d non-memory-bound kernels gain on GPUs yet not on SPR-HBM", count4))
+
+	// Claim 5: EDGE3D is the extreme Fig 9 outlier (paper: 118.6x).
+	var edge, best float64
+	bestName := ""
+	for _, r := range data.Rows {
+		if r.Kernel == "Apps_EDGE3D" {
+			edge = r.SpeedupMI250X
+		}
+		if r.SpeedupMI250X > best {
+			best, bestName = r.SpeedupMI250X, r.Kernel
+		}
+	}
+	claim(bestName == "Apps_EDGE3D" && edge > 40, fmt.Sprintf(
+		"Apps_EDGE3D is the MI250X outlier at %.1fx (paper: 118.6x)", edge))
+
+	return b.String(), nil
+}

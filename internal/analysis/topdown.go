@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"rajaperf/internal/machine"
+	"rajaperf/internal/tma"
+)
+
+// TopdownRow is one kernel's TMA tuple on one machine (Fig 3/4 bars).
+type TopdownRow struct {
+	Kernel  string
+	Metrics tma.Metrics
+}
+
+// tmaMetricNames are the profile columns holding the clustering tuple, in
+// the paper's order.
+var tmaMetricNames = []string{
+	"frontend_bound", "bad_speculation", "retiring", "core_bound", "memory_bound",
+}
+
+// Topdown collects the per-kernel top-down metrics on a CPU machine — the
+// data behind Fig 3 (SPR-DDR) and Fig 4 (SPR-HBM).
+func (s *Session) Topdown(m *machine.Machine) ([]TopdownRow, error) {
+	if m.Kind != machine.CPU {
+		return nil, fmt.Errorf("analysis: top-down metrics need a CPU machine, got %s", m)
+	}
+	tk, err := s.MachineThicket(m)
+	if err != nil {
+		return nil, err
+	}
+	var rows []TopdownRow
+	for _, node := range tk.Nodes() {
+		vec, ok := tk.NodeVector(node, tmaMetricNames)
+		if !ok {
+			continue
+		}
+		rows = append(rows, TopdownRow{
+			Kernel: node,
+			Metrics: tma.Metrics{
+				FrontendBound:  vec[0],
+				BadSpeculation: vec[1],
+				Retiring:       vec[2],
+				CoreBound:      vec[3],
+				MemoryBound:    vec[4],
+			},
+		})
+	}
+	return rows, nil
+}
+
+// RenderTopdown formats the top-down table for one machine.
+func RenderTopdown(m *machine.Machine, rows []TopdownRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Top-down metrics on %s\n", m.Shorthand)
+	fmt.Fprintf(&b, "%-34s %9s %9s %9s %9s %9s  %s\n",
+		"Kernel", "frontend", "badspec", "retiring", "core", "memory", "dominant")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-34s %9.3f %9.3f %9.3f %9.3f %9.3f  %s\n",
+			r.Kernel, r.Metrics.FrontendBound, r.Metrics.BadSpeculation,
+			r.Metrics.Retiring, r.Metrics.CoreBound, r.Metrics.MemoryBound,
+			r.Metrics.Dominant())
+	}
+	return b.String()
+}

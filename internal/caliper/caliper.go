@@ -1,0 +1,237 @@
+// Package caliper is a performance-annotation and profiling library
+// modeled on LLNL Caliper (Boehme et al., SC 2016) as the paper integrates
+// it into the RAJA Performance Suite: kernels are annotated as nested
+// regions, analytic and hardware metrics are attached to regions, per-run
+// metadata comes from package adiak, and each run serializes to one
+// profile file (the ".cali" analog, encoded as JSON) that package thicket
+// reads back for analysis.
+package caliper
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// PathSep joins region names into node paths.
+const PathSep = "/"
+
+// Record is the measurement set of one call-tree node.
+type Record struct {
+	Path    []string           `json:"path"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Node returns the node name (last path element).
+func (r *Record) Node() string {
+	if len(r.Path) == 0 {
+		return ""
+	}
+	return r.Path[len(r.Path)-1]
+}
+
+// PathKey returns the joined path string.
+func (r *Record) PathKey() string { return strings.Join(r.Path, PathSep) }
+
+// Recorder collects annotations and metrics for one run. It is safe for
+// concurrent metric recording, though region begin/end must nest properly
+// on the goroutine driving the run (as in Caliper's per-thread stacks).
+type Recorder struct {
+	mu       sync.Mutex
+	stack    []string
+	starts   []time.Time
+	records  map[string]*Record
+	order    []string
+	metadata map[string]any
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		records:  map[string]*Record{},
+		metadata: map[string]any{},
+	}
+}
+
+// AddMetadata attaches a run attribute (Adiak-style) to the profile.
+func (c *Recorder) AddMetadata(key string, value any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.metadata[key] = value
+}
+
+// Begin opens a region. Regions nest: a Begin inside an open region
+// creates a child node.
+func (c *Recorder) Begin(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stack = append(c.stack, name)
+	c.starts = append(c.starts, time.Now())
+	c.ensureLocked(c.stack)
+}
+
+// End closes the innermost open region, accumulating its inclusive wall
+// time into the "time" metric and bumping "count". It returns an error if
+// name does not match the innermost region (misnested annotations).
+func (c *Recorder) End(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.stack) == 0 {
+		return fmt.Errorf("caliper: End(%q) with no open region", name)
+	}
+	top := c.stack[len(c.stack)-1]
+	if top != name {
+		return fmt.Errorf("caliper: End(%q) does not match open region %q", name, top)
+	}
+	elapsed := time.Since(c.starts[len(c.starts)-1]).Seconds()
+	rec := c.ensureLocked(c.stack)
+	rec.Metrics["time"] += elapsed
+	rec.Metrics["count"]++
+	c.stack = c.stack[:len(c.stack)-1]
+	c.starts = c.starts[:len(c.starts)-1]
+	return nil
+}
+
+// Region runs f inside a region named name.
+func (c *Recorder) Region(name string, f func()) {
+	c.Begin(name)
+	defer c.End(name) //nolint:errcheck // Begin guarantees matching
+	f()
+}
+
+// SetMetric records metric value v on the innermost open region, or on the
+// root pseudo-region if none is open. Repeated calls overwrite.
+func (c *Recorder) SetMetric(metric string, v float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	path := c.stack
+	if len(path) == 0 {
+		path = []string{"main"}
+	}
+	c.ensureLocked(path).Metrics[metric] = v
+}
+
+// AddMetric accumulates metric value v on the innermost open region.
+func (c *Recorder) AddMetric(metric string, v float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	path := c.stack
+	if len(path) == 0 {
+		path = []string{"main"}
+	}
+	c.ensureLocked(path).Metrics[metric] += v
+}
+
+// SetMetricAt records metric v on an explicit region path, creating the
+// node if needed. Analysis passes use it to attach modeled hardware
+// counters to kernel nodes after the run.
+func (c *Recorder) SetMetricAt(path []string, metric string, v float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ensureLocked(path).Metrics[metric] = v
+}
+
+// ensureLocked returns the record for path, creating it if missing.
+// Callers hold c.mu.
+func (c *Recorder) ensureLocked(path []string) *Record {
+	key := strings.Join(path, PathSep)
+	if r, ok := c.records[key]; ok {
+		return r
+	}
+	r := &Record{
+		Path:    append([]string(nil), path...),
+		Metrics: map[string]float64{},
+	}
+	c.records[key] = r
+	c.order = append(c.order, key)
+	return r
+}
+
+// OpenDepth reports how many regions are currently open (for verifying
+// balanced annotations in tests).
+func (c *Recorder) OpenDepth() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.stack)
+}
+
+// Profile snapshots the recorder into a serializable profile. Records
+// appear in first-touch order; metadata keys serialize sorted.
+func (c *Recorder) Profile() *Profile {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := &Profile{Metadata: map[string]any{}}
+	for k, v := range c.metadata {
+		p.Metadata[k] = v
+	}
+	for _, key := range c.order {
+		r := c.records[key]
+		cp := Record{
+			Path:    append([]string(nil), r.Path...),
+			Metrics: make(map[string]float64, len(r.Metrics)),
+		}
+		for m, v := range r.Metrics {
+			cp.Metrics[m] = v
+		}
+		p.Records = append(p.Records, cp)
+	}
+	return p
+}
+
+// Profile is one run's worth of measurements: per-run metadata plus one
+// record per call-tree node — the in-memory form of a .cali file.
+type Profile struct {
+	Metadata map[string]any `json:"metadata"`
+	Records  []Record       `json:"records"`
+}
+
+// Find returns the record whose node name (last path element) is name, or
+// nil if absent.
+func (p *Profile) Find(name string) *Record {
+	for i := range p.Records {
+		if p.Records[i].Node() == name {
+			return &p.Records[i]
+		}
+	}
+	return nil
+}
+
+// MetricNames returns the union of metric names across records, sorted.
+func (p *Profile) MetricNames() []string {
+	set := map[string]bool{}
+	for _, r := range p.Records {
+		for m := range r.Metrics {
+			set[m] = true
+		}
+	}
+	names := make([]string, 0, len(set))
+	for m := range set {
+		names = append(names, m)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Validate checks structural invariants: nonempty paths, no duplicate
+// paths, finite metric values.
+func (p *Profile) Validate() error {
+	seen := map[string]bool{}
+	for i, r := range p.Records {
+		if len(r.Path) == 0 {
+			return fmt.Errorf("caliper: record %d has empty path", i)
+		}
+		key := r.PathKey()
+		if seen[key] {
+			return fmt.Errorf("caliper: duplicate record path %q", key)
+		}
+		seen[key] = true
+		for m, v := range r.Metrics {
+			if v != v || v > 1e308 || v < -1e308 {
+				return fmt.Errorf("caliper: record %q metric %q is not finite", key, m)
+			}
+		}
+	}
+	return nil
+}

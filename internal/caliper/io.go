@@ -1,0 +1,70 @@
+package caliper
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FileExt is the extension of serialized profiles (the ".cali" analog).
+const FileExt = ".cali.json"
+
+// WriteFile serializes the profile to path, creating parent directories.
+func (p *Profile) WriteFile(path string) error {
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("caliper: refusing to write invalid profile: %w", err)
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("caliper: %w", err)
+		}
+	}
+	data, err := json.MarshalIndent(p, "", " ")
+	if err != nil {
+		return fmt.Errorf("caliper: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadFile deserializes and validates a profile from path.
+func ReadFile(path string) (*Profile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("caliper: %w", err)
+	}
+	var p Profile
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("caliper: corrupt profile %s: %w", path, err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("caliper: invalid profile %s: %w", path, err)
+	}
+	return &p, nil
+}
+
+// ReadDir reads every profile file under dir (by FileExt), sorted by file
+// name for deterministic composition order.
+func ReadDir(dir string) ([]*Profile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("caliper: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".json" {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	ps := make([]*Profile, 0, len(names))
+	for _, n := range names {
+		p, err := ReadFile(filepath.Join(dir, n))
+		if err != nil {
+			return nil, err
+		}
+		ps = append(ps, p)
+	}
+	return ps, nil
+}

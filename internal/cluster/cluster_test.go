@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// fourBlobs returns 12 points in 4 well-separated 3-D blobs.
+func fourBlobs() ([][]float64, []string) {
+	centers := [][]float64{{0, 0, 0}, {10, 0, 0}, {0, 10, 0}, {0, 0, 10}}
+	var vecs [][]float64
+	var labels []string
+	for ci, c := range centers {
+		for j := 0; j < 3; j++ {
+			off := 0.1 * float64(j)
+			vecs = append(vecs, []float64{c[0] + off, c[1] - off, c[2] + off})
+			labels = append(labels, string(rune('A'+ci))+string(rune('0'+j)))
+		}
+	}
+	return vecs, labels
+}
+
+func TestWardRecoversSeparatedBlobs(t *testing.T) {
+	vecs, labels := fourBlobs()
+	link, err := Ward(vecs, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := link.NumClusters(5.0); got != 4 {
+		t.Fatalf("NumClusters(5.0) = %d, want 4", got)
+	}
+	members := link.Members(5.0)
+	for id, ms := range members {
+		prefix := ms[0][:1]
+		for _, m := range ms {
+			if m[:1] != prefix {
+				t.Errorf("cluster %d mixes blobs: %v", id, ms)
+			}
+		}
+		if len(ms) != 3 {
+			t.Errorf("cluster %d has %d members, want 3: %v", id, len(ms), ms)
+		}
+	}
+}
+
+func TestThresholdExtremes(t *testing.T) {
+	vecs, labels := fourBlobs()
+	link, _ := Ward(vecs, labels)
+	if got := link.NumClusters(1e9); got != 1 {
+		t.Errorf("huge threshold: %d clusters, want 1", got)
+	}
+	if got := link.NumClusters(1e-12); got != len(vecs) {
+		t.Errorf("tiny threshold: %d clusters, want %d", got, len(vecs))
+	}
+}
+
+func TestMergeDistancesMonotone(t *testing.T) {
+	// Ward merge distances are monotonically nondecreasing.
+	vecs, labels := fourBlobs()
+	link, _ := Ward(vecs, labels)
+	for i := 1; i < len(link.Merges); i++ {
+		if link.Merges[i].Distance < link.Merges[i-1].Distance-1e-12 {
+			t.Fatalf("merge %d distance %.6f < previous %.6f",
+				i, link.Merges[i].Distance, link.Merges[i-1].Distance)
+		}
+	}
+	last := link.Merges[len(link.Merges)-1]
+	if last.Size != len(vecs) {
+		t.Errorf("final merge size = %d, want %d", last.Size, len(vecs))
+	}
+}
+
+func TestDendrogramContainsAllLabels(t *testing.T) {
+	vecs, labels := fourBlobs()
+	link, _ := Ward(vecs, labels)
+	d := link.Dendrogram()
+	for _, l := range labels {
+		if !strings.Contains(d, l) {
+			t.Errorf("dendrogram missing label %s", l)
+		}
+	}
+}
+
+func TestWardErrors(t *testing.T) {
+	if _, err := Ward(nil, nil); err == nil {
+		t.Error("empty input must error")
+	}
+	if _, err := Ward([][]float64{{1, 2}, {1}}, nil); err == nil {
+		t.Error("ragged input must error")
+	}
+	if _, err := Ward([][]float64{{1}}, []string{"a", "b"}); err == nil {
+		t.Error("label count mismatch must error")
+	}
+}
+
+func TestSingleObservation(t *testing.T) {
+	link, err := Ward([][]float64{{1, 2, 3}}, []string{"only"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if link.NumClusters(1.4) != 1 {
+		t.Error("single observation must form one cluster")
+	}
+	if !strings.Contains(link.Dendrogram(), "only") {
+		t.Error("dendrogram must render a lone leaf")
+	}
+}
+
+// Property: every cut yields a partition — each leaf appears in exactly
+// one cluster, and cluster count decreases (weakly) as threshold grows.
+func TestQuickCutIsPartition(t *testing.T) {
+	f := func(seed uint8) bool {
+		n := int(seed%10) + 2
+		vecs := make([][]float64, n)
+		s := uint64(seed) + 1
+		for i := range vecs {
+			vecs[i] = make([]float64, 3)
+			for k := range vecs[i] {
+				s = s*6364136223846793005 + 1442695040888963407
+				vecs[i][k] = float64(s%1000) / 100
+			}
+		}
+		link, err := Ward(vecs, nil)
+		if err != nil {
+			return false
+		}
+		prev := math.MaxInt32
+		for _, th := range []float64{0.01, 0.5, 1.4, 5, 50} {
+			ids := link.CutByDistance(th)
+			if len(ids) != n {
+				return false
+			}
+			k := link.NumClusters(th)
+			for _, id := range ids {
+				if id < 0 || id >= k {
+					return false
+				}
+			}
+			if k > prev {
+				return false
+			}
+			prev = k
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDendrogramSVG(t *testing.T) {
+	vecs, labels := fourBlobs()
+	link, _ := Ward(vecs, labels)
+	svg := link.SVG(5.0)
+	if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	for _, l := range labels {
+		if !strings.Contains(svg, l) {
+			t.Errorf("dendrogram SVG missing leaf %s", l)
+		}
+	}
+	if !strings.Contains(svg, "cut") {
+		t.Error("missing threshold cut line")
+	}
+	// Single-leaf linkage renders without panicking.
+	lone, _ := Ward([][]float64{{1, 2}}, []string{"only"})
+	if out := lone.SVG(1.0); !strings.Contains(out, "only") {
+		t.Error("single-leaf dendrogram broken")
+	}
+}

@@ -1,0 +1,93 @@
+package gpusim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rajaperf/internal/kernels"
+)
+
+func quickMix(a, b, c, d uint8) kernels.Mix {
+	return kernels.Mix{
+		Flops:           float64(a % 64),
+		Loads:           float64(b%16) + 1,
+		Stores:          float64(c % 8),
+		IntOps:          float64(d % 8),
+		Branches:        float64(a % 3),
+		Atomics:         float64(b % 2),
+		Pattern:         kernels.AccessPattern(c % 4),
+		Reuse:           float64(d%10) / 10,
+		WorkingSetBytes: math.Pow(10, 4+float64(a%5)),
+		Divergence:      float64(b%5) / 10,
+	}
+}
+
+// Property: all counters are nonnegative and finite; time is positive.
+func TestQuickCountersValid(t *testing.T) {
+	d := v100()
+	f := func(a, b, c, dd uint8) bool {
+		r := d.Run(quickMix(a, b, c, dd), Launch{Items: 1 << 20, BlockSize: 256})
+		cs := r.Counters
+		for _, v := range []float64{
+			cs.ThreadInstExecuted, cs.L1GlobalLoad, cs.L1GlobalStore,
+			cs.L2Read, cs.L2Write, cs.L2Atomic, cs.DRAMRead, cs.DRAMWrite,
+		} {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		return r.SecondsPerRep > 0 && r.Occupancy > 0 && r.Occupancy <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: counters scale linearly with item count; time is monotone.
+func TestQuickItemScaling(t *testing.T) {
+	d := v100()
+	f := func(a, b, c, dd uint8) bool {
+		mix := quickMix(a, b, c, dd)
+		r1 := d.Run(mix, Launch{Items: 1 << 20, BlockSize: 256})
+		r2 := d.Run(mix, Launch{Items: 1 << 22, BlockSize: 256})
+		instRatio := r2.Counters.ThreadInstExecuted / r1.Counters.ThreadInstExecuted
+		if math.Abs(instRatio-4) > 0.01 {
+			return false
+		}
+		return r2.SecondsPerRep >= r1.SecondsPerRep
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the memory hierarchy never amplifies read traffic downward.
+func TestQuickHierarchyConservation(t *testing.T) {
+	d := mi250x()
+	f := func(a, b, c, dd uint8) bool {
+		r := d.Run(quickMix(a, b, c, dd), Launch{Items: 1 << 21, BlockSize: 256})
+		cs := r.Counters
+		return cs.L2Read <= cs.L1GlobalLoad*(1+1e-9) &&
+			cs.DRAMRead <= cs.L2Read*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: divergence never speeds a kernel up.
+func TestQuickDivergencePenalty(t *testing.T) {
+	d := v100()
+	f := func(a, b, c, dd uint8) bool {
+		mix := quickMix(a, b, c, dd)
+		mix.Divergence = 0
+		r0 := d.Run(mix, Launch{Items: 1 << 21, BlockSize: 256})
+		mix.Divergence = 0.9
+		r1 := d.Run(mix, Launch{Items: 1 << 21, BlockSize: 256})
+		return r1.SecondsPerRep >= r0.SecondsPerRep*0.999
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

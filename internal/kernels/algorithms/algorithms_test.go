@@ -1,0 +1,82 @@
+package algorithms_test
+
+import (
+	"testing"
+
+	"rajaperf/internal/kernels"
+	_ "rajaperf/internal/kernels/algorithms"
+	"rajaperf/internal/kernels/kerneltest"
+)
+
+func TestAlgorithmsGroupConformance(t *testing.T) {
+	kerneltest.CheckGroup(t, kernels.Algorithms)
+}
+
+func TestAlgorithmsRoster(t *testing.T) {
+	ks := kernels.ByGroup(kernels.Algorithms)
+	if len(ks) != 8 {
+		names := make([]string, 0, len(ks))
+		for _, k := range ks {
+			names = append(names, k.Info().Name)
+		}
+		t.Fatalf("Algorithms group has %d kernels, want 8: %v", len(ks), names)
+	}
+}
+
+func TestSortComplexityAnnotation(t *testing.T) {
+	for _, name := range []string{"Algorithm_SORT", "Algorithm_SORTPAIRS"} {
+		k, err := kernels.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k.Info().Complexity != kernels.CxNLgN {
+			t.Errorf("%s complexity = %s, want n lg n", name, k.Info().Complexity)
+		}
+		if !k.Info().HasFeature(kernels.FeatSort) {
+			t.Errorf("%s missing Sort feature", name)
+		}
+	}
+}
+
+func TestHistogramCountsSumToN(t *testing.T) {
+	k, _ := kernels.New("Algorithm_HISTOGRAM")
+	rp := kernels.RunParams{Size: 50_000, Reps: 1, Workers: 4}
+	k.SetUp(rp)
+	defer k.TearDown()
+	// Run with the atomic (Base_OpenMP) and multi-reduce (RAJA) variants
+	// and check they agree with sequential counting.
+	if err := k.Run(kernels.BaseSeq, rp); err != nil {
+		t.Fatal(err)
+	}
+	want := k.Checksum()
+	for _, v := range []kernels.VariantID{kernels.BaseOpenMP, kernels.RAJAGPU} {
+		if err := k.Run(v, rp); err != nil {
+			t.Fatal(err)
+		}
+		if got := k.Checksum(); got != want {
+			t.Errorf("%s histogram checksum = %v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestScanMatchesManualPrefixSum(t *testing.T) {
+	k, _ := kernels.New("Algorithm_SCAN")
+	rp := kernels.RunParams{Size: 1000, Reps: 1}
+	k.SetUp(rp)
+	defer k.TearDown()
+	if err := k.Run(kernels.RAJAOpenMP, rp); err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 1000)
+	kernels.InitData(x, 1.0)
+	y := make([]float64, 1000)
+	acc := 0.0
+	for i := range x {
+		y[i] = acc
+		acc += x[i]
+	}
+	want := kernels.ChecksumSlice(y)
+	if got := k.Checksum(); !kernels.ChecksumsClose(got, want) {
+		t.Errorf("SCAN checksum = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,25 @@
+// Package algorithms implements the Algorithms group of the RAJA
+// Performance Suite: kernels centered on specific parallel constructs —
+// atomics, histograms, scans, reductions, sorts — and raw memory
+// operations (memcpy/memset).
+package algorithms
+
+import "rajaperf/internal/kernels"
+
+const (
+	defaultSize = 100_000
+	defaultReps = 5
+)
+
+// memMix builds the instruction mix of a memory-operation kernel.
+func memMix(flops, loads, stores float64, narrays, n int) kernels.Mix {
+	return kernels.Mix{
+		Flops:           flops,
+		Loads:           loads,
+		Stores:          stores,
+		Pattern:         kernels.AccessUnit,
+		ILP:             6,
+		WorkingSetBytes: 8 * float64(narrays) * float64(n),
+		FootprintKB:     0.2,
+	}
+}

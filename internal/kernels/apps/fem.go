@@ -1,0 +1,117 @@
+package apps
+
+// High-order finite-element machinery shared by the partial-assembly (PA)
+// and element-assembly (EA) kernels: 1-D basis/gradient matrices evaluated
+// at quadrature points and sum-factorized tensor contractions between dof
+// space (D1D^3 per element) and quadrature space (Q1D^3 per element), the
+// structure of the MFEM-derived kernels in the suite.
+
+// PA dimensions: 4 dofs and 5 quadrature points per dimension.
+const (
+	feD1D = 4
+	feQ1D = 5
+	feD3  = feD1D * feD1D * feD1D
+	feQ3  = feQ1D * feQ1D * feQ1D
+)
+
+// basisMat is a 1-D basis evaluation matrix: value of dof-function d at
+// quadrature point q.
+type basisMat [feQ1D][feD1D]float64
+
+// feB and feG are the shared basis and gradient matrices, deterministic
+// stand-ins for Gauss-Lobatto evaluations.
+var feB, feG basisMat
+
+func init() {
+	for q := 0; q < feQ1D; q++ {
+		for d := 0; d < feD1D; d++ {
+			feB[q][d] = 0.25 + 0.1*float64((q+1)*(d+1)%7)
+			feG[q][d] = 0.05 * float64((q+2)*(d+3)%5)
+		}
+	}
+}
+
+// contract3 interpolates element dof values x (layout [dz][dy][dx]) to
+// quadrature values out (layout [qz][qy][qx]) using the three 1-D matrices
+// a1 (x-direction), a2 (y), a3 (z).
+func contract3(a1, a2, a3 *basisMat, x, out []float64) {
+	var t1 [feD1D][feD1D][feQ1D]float64
+	for dz := 0; dz < feD1D; dz++ {
+		for dy := 0; dy < feD1D; dy++ {
+			for qx := 0; qx < feQ1D; qx++ {
+				s := 0.0
+				for dx := 0; dx < feD1D; dx++ {
+					s += a1[qx][dx] * x[(dz*feD1D+dy)*feD1D+dx]
+				}
+				t1[dz][dy][qx] = s
+			}
+		}
+	}
+	var t2 [feD1D][feQ1D][feQ1D]float64
+	for dz := 0; dz < feD1D; dz++ {
+		for qy := 0; qy < feQ1D; qy++ {
+			for qx := 0; qx < feQ1D; qx++ {
+				s := 0.0
+				for dy := 0; dy < feD1D; dy++ {
+					s += a2[qy][dy] * t1[dz][dy][qx]
+				}
+				t2[dz][qy][qx] = s
+			}
+		}
+	}
+	for qz := 0; qz < feQ1D; qz++ {
+		for qy := 0; qy < feQ1D; qy++ {
+			for qx := 0; qx < feQ1D; qx++ {
+				s := 0.0
+				for dz := 0; dz < feD1D; dz++ {
+					s += a3[qz][dz] * t2[dz][qy][qx]
+				}
+				out[(qz*feQ1D+qy)*feQ1D+qx] = s
+			}
+		}
+	}
+}
+
+// project3 applies the transpose contraction, accumulating quadrature
+// values xq back into element dof values y.
+func project3(a1, a2, a3 *basisMat, xq, y []float64) {
+	var t1 [feQ1D][feQ1D][feD1D]float64
+	for qz := 0; qz < feQ1D; qz++ {
+		for qy := 0; qy < feQ1D; qy++ {
+			for dx := 0; dx < feD1D; dx++ {
+				s := 0.0
+				for qx := 0; qx < feQ1D; qx++ {
+					s += a1[qx][dx] * xq[(qz*feQ1D+qy)*feQ1D+qx]
+				}
+				t1[qz][qy][dx] = s
+			}
+		}
+	}
+	var t2 [feQ1D][feD1D][feD1D]float64
+	for qz := 0; qz < feQ1D; qz++ {
+		for dy := 0; dy < feD1D; dy++ {
+			for dx := 0; dx < feD1D; dx++ {
+				s := 0.0
+				for qy := 0; qy < feQ1D; qy++ {
+					s += a2[qy][dy] * t1[qz][qy][dx]
+				}
+				t2[qz][dy][dx] = s
+			}
+		}
+	}
+	for dz := 0; dz < feD1D; dz++ {
+		for dy := 0; dy < feD1D; dy++ {
+			for dx := 0; dx < feD1D; dx++ {
+				s := 0.0
+				for qz := 0; qz < feQ1D; qz++ {
+					s += a3[qz][dz] * t2[qz][dy][dx]
+				}
+				y[(dz*feD1D+dy)*feD1D+dx] += s
+			}
+		}
+	}
+}
+
+// paFlopsPerElement is the flop count of one interpolate + scale +
+// project round trip, used for the analytic metrics.
+const paFlopsPerElement = 2*2*(feQ1D*feD3+feQ1D*feQ1D*feD1D*feD1D+feQ3*feD1D) + feQ3

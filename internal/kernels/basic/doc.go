@@ -1,0 +1,28 @@
+// Package basic implements the Basic group of the RAJA Performance Suite:
+// small, simple patterns that nonetheless stress compilers and runtimes —
+// elementwise updates, branchy bodies, atomics, reductions of several
+// shapes, index-list construction, nested initialization, and the tiled
+// matrix multiply (MAT_MAT_SHARED) the paper uses as its achieved-FLOPS
+// probe in Table II.
+package basic
+
+import "rajaperf/internal/kernels"
+
+const (
+	defaultSize = 100_000
+	defaultReps = 5
+)
+
+// unitMix builds an instruction mix for a unit-stride elementwise kernel
+// touching narrays arrays of n elements.
+func unitMix(flops, loads, stores, ilp float64, narrays, n int) kernels.Mix {
+	return kernels.Mix{
+		Flops:           flops,
+		Loads:           loads,
+		Stores:          stores,
+		Pattern:         kernels.AccessUnit,
+		ILP:             ilp,
+		WorkingSetBytes: 8 * float64(narrays) * float64(n),
+		FootprintKB:     0.3,
+	}
+}

@@ -1,0 +1,95 @@
+package comm_test
+
+import (
+	"testing"
+
+	"rajaperf/internal/kernels"
+	_ "rajaperf/internal/kernels/comm"
+	"rajaperf/internal/kernels/kerneltest"
+)
+
+func TestCommGroupConformance(t *testing.T) {
+	kerneltest.CheckGroup(t, kernels.Comm)
+}
+
+func TestCommRoster(t *testing.T) {
+	ks := kernels.ByGroup(kernels.Comm)
+	if len(ks) != 5 {
+		names := make([]string, 0, len(ks))
+		for _, k := range ks {
+			names = append(names, k.Info().Name)
+		}
+		t.Fatalf("Comm group has %d kernels, want 5: %v", len(ks), names)
+	}
+	for _, k := range ks {
+		if !k.Info().HasFeature(kernels.FeatMPI) {
+			t.Errorf("%s missing MPI feature", k.Info().Name)
+		}
+		if k.Info().Complexity != kernels.CxN23 {
+			t.Errorf("%s complexity = %s, want n^(2/3)", k.Info().Name, k.Info().Complexity)
+		}
+	}
+}
+
+func TestPackingAndFusedProduceSameState(t *testing.T) {
+	rp := kernels.RunParams{Size: 3000, Reps: 1, Workers: 4}
+	var sums []float64
+	for _, name := range []string{"Comm_HALO_PACKING", "Comm_HALO_PACKING_FUSED"} {
+		k, err := kernels.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k.SetUp(rp)
+		if err := k.Run(kernels.RAJAOpenMP, rp); err != nil {
+			t.Fatal(err)
+		}
+		sums = append(sums, k.Checksum())
+		k.TearDown()
+	}
+	if sums[0] != sums[1] {
+		t.Errorf("HALO_PACKING %v != HALO_PACKING_FUSED %v", sums[0], sums[1])
+	}
+}
+
+func TestExchangeAndFusedProduceSameState(t *testing.T) {
+	rp := kernels.RunParams{Size: 3000, Reps: 2, Workers: 2, Ranks: 4}
+	var sums []float64
+	for _, name := range []string{"Comm_HALO_EXCHANGE", "Comm_HALO_EXCHANGE_FUSED"} {
+		k, err := kernels.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k.SetUp(rp)
+		if err := k.Run(kernels.RAJAGPU, rp); err != nil {
+			t.Fatal(err)
+		}
+		sums = append(sums, k.Checksum())
+		k.TearDown()
+	}
+	if sums[0] != sums[1] {
+		t.Errorf("HALO_EXCHANGE %v != HALO_EXCHANGE_FUSED %v", sums[0], sums[1])
+	}
+}
+
+func TestFusedLaunchesFewerKernels(t *testing.T) {
+	unfused, _ := kernels.New("Comm_HALO_PACKING")
+	fused, _ := kernels.New("Comm_HALO_PACKING_FUSED")
+	rp := kernels.RunParams{Size: 3000}
+	unfused.SetUp(rp)
+	fused.SetUp(rp)
+	if fused.Mix().LaunchesPerRep >= unfused.Mix().LaunchesPerRep {
+		t.Errorf("fused launches (%v) must be fewer than unfused (%v)",
+			fused.Mix().LaunchesPerRep, unfused.Mix().LaunchesPerRep)
+	}
+	unfused.TearDown()
+	fused.TearDown()
+}
+
+func TestSendrecvIsCommunicationDominated(t *testing.T) {
+	k, _ := kernels.New("Comm_HALO_SENDRECV")
+	k.SetUp(kernels.RunParams{Size: 3000})
+	defer k.TearDown()
+	if k.Mix().MPIFraction < 0.9 {
+		t.Errorf("HALO_SENDRECV MPI fraction = %v, want >= 0.9", k.Mix().MPIFraction)
+	}
+}

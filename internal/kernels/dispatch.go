@@ -1,0 +1,66 @@
+package kernels
+
+import "rajaperf/internal/raja"
+
+// RunVariant executes one pass over [0, n) in the style of variant v:
+//
+//   - Base variants run the hand-written chunk loop `base` directly (whole
+//     range for Base_Seq, per-worker chunks for Base_OpenMP, dynamic blocks
+//     for Base_GPU);
+//   - Lambda variants invoke the per-index closure `lambda`, exercising
+//     closure-call overhead the way the suite's C++ Lambda variants
+//     exercise std::function-free lambda dispatch;
+//   - RAJA variants dispatch `rajaBody` through the portability layer
+//     under the policy implied by v and rp.
+//
+// Kernels whose body is a plain elementwise loop build their Run method
+// from one RunVariant call per rep; kernels with reductions, scans, or
+// communication write their own dispatch.
+func RunVariant(v VariantID, rp RunParams, n int,
+	base func(lo, hi int), lambda func(i int), rajaBody raja.Body) error {
+	switch v {
+	case BaseSeq:
+		base(0, n)
+	case LambdaSeq:
+		for i := 0; i < n; i++ {
+			lambda(i)
+		}
+	case BaseOpenMP:
+		ParChunks(rp.Workers, n, base)
+	case LambdaOpenMP:
+		ParChunks(rp.Workers, n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				lambda(i)
+			}
+		})
+	case BaseGPU:
+		GPUBlocks(rp.Workers, rp.GPUBlock, n, base)
+	case RAJASeq, RAJAOpenMP, RAJAGPU:
+		raja.Forall(rp.Policy(v), n, rajaBody)
+	default:
+		return &ErrVariantUnsupported{Variant: v}
+	}
+	return nil
+}
+
+// SeqVariants is the sequential-only variant set used by kernels with
+// loop-carried structure that the paper only runs sequentially.
+var SeqVariants = []VariantID{BaseSeq, LambdaSeq, RAJASeq}
+
+// AllVariants is the full eight-variant set.
+var AllVariants = []VariantID{
+	BaseSeq, LambdaSeq, RAJASeq,
+	BaseOpenMP, LambdaOpenMP, RAJAOpenMP,
+	BaseGPU, RAJAGPU,
+}
+
+// NoLambdaVariants is the variant set for kernels whose Table I row lacks
+// Lambda variants (feature kernels like sorts and scans).
+var NoLambdaVariants = []VariantID{
+	BaseSeq, RAJASeq, BaseOpenMP, RAJAOpenMP, BaseGPU, RAJAGPU,
+}
+
+// CPUOnlyVariants is for kernels the paper does not run on GPUs.
+var CPUOnlyVariants = []VariantID{
+	BaseSeq, LambdaSeq, RAJASeq, BaseOpenMP, LambdaOpenMP, RAJAOpenMP,
+}

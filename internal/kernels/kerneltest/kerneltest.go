@@ -1,0 +1,200 @@
+// Package kerneltest provides the conformance checks every suite kernel
+// must satisfy: all implemented variants produce the same checksum, the
+// analytic metrics and instruction mix are sane, and the lifecycle
+// (SetUp/Run/Checksum/TearDown) behaves. Group test files call into it so
+// each kernel is verified uniformly.
+package kerneltest
+
+import (
+	"errors"
+	"testing"
+
+	"rajaperf/internal/kernels"
+)
+
+// Params returns the small, fast run parameters conformance tests use.
+func Params() kernels.RunParams {
+	return kernels.RunParams{Size: 20_000, Reps: 2, Workers: 4, GPUBlock: 128}
+}
+
+// CheckKernel runs the full conformance suite on the named kernel.
+func CheckKernel(t *testing.T, fullName string) {
+	t.Helper()
+	t.Run(fullName, func(t *testing.T) {
+		k, err := kernels.New(fullName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkInfo(t, k)
+		checkVariantsAgree(t, fullName)
+		checkMetrics(t, k)
+		checkUnsupportedVariants(t, k)
+		checkGPUTunings(t, fullName)
+	})
+}
+
+// CheckGroup runs conformance on every registered kernel of the group.
+func CheckGroup(t *testing.T, g kernels.Group) {
+	t.Helper()
+	found := false
+	for _, name := range kernels.Names() {
+		k, err := kernels.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k.Info().Group != g {
+			continue
+		}
+		found = true
+		CheckKernel(t, name)
+	}
+	if !found {
+		t.Fatalf("no kernels registered for group %s", g)
+	}
+}
+
+func checkInfo(t *testing.T, k kernels.Kernel) {
+	t.Helper()
+	in := k.Info()
+	if in.Name == "" {
+		t.Error("kernel has empty name")
+	}
+	if in.DefaultSize <= 0 || in.DefaultReps <= 0 {
+		t.Errorf("defaults not positive: size=%d reps=%d", in.DefaultSize, in.DefaultReps)
+	}
+	if len(in.Variants) == 0 {
+		t.Error("kernel declares no variants")
+	}
+	if !in.HasVariant(kernels.BaseSeq) {
+		t.Error("every kernel needs the Base_Seq reference variant")
+	}
+}
+
+// checkVariantsAgree runs every declared variant on a fresh instance and
+// verifies the checksums match the Base_Seq reference.
+func checkVariantsAgree(t *testing.T, fullName string) {
+	t.Helper()
+	rp := Params()
+
+	ref, err := kernels.New(fullName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.SetUp(rp)
+	if err := ref.Run(kernels.BaseSeq, rp); err != nil {
+		t.Fatalf("Base_Seq: %v", err)
+	}
+	want := ref.Checksum()
+	ref.TearDown()
+
+	for _, v := range ref.Info().Variants {
+		if v == kernels.BaseSeq {
+			continue
+		}
+		k, err := kernels.New(fullName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k.SetUp(rp)
+		if err := k.Run(v, rp); err != nil {
+			t.Errorf("%s: %v", v, err)
+			k.TearDown()
+			continue
+		}
+		got := k.Checksum()
+		if !kernels.ChecksumsClose(got, want) {
+			t.Errorf("%s checksum %v != Base_Seq %v", v, got, want)
+		}
+		k.TearDown()
+	}
+}
+
+// checkGPUTunings verifies that GPU block-size tunings do not change the
+// computed answer (scheduling independence).
+func checkGPUTunings(t *testing.T, fullName string) {
+	t.Helper()
+	base, err := kernels.New(fullName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.Info().HasVariant(kernels.RAJAGPU) {
+		return
+	}
+	var want float64
+	for i, block := range []int{64, 512} {
+		rp := Params()
+		rp.GPUBlock = block
+		k, _ := kernels.New(fullName)
+		k.SetUp(rp)
+		if err := k.Run(kernels.RAJAGPU, rp); err != nil {
+			t.Errorf("RAJA_GPU block_%d: %v", block, err)
+			k.TearDown()
+			return
+		}
+		got := k.Checksum()
+		if i == 0 {
+			want = got
+		} else if !kernels.ChecksumsClose(got, want) {
+			t.Errorf("block_%d checksum %v != block_64 %v", block, got, want)
+		}
+		k.TearDown()
+	}
+}
+
+func checkMetrics(t *testing.T, k kernels.Kernel) {
+	t.Helper()
+	rp := Params()
+	k.SetUp(rp)
+	defer k.TearDown()
+	m := k.Metrics()
+	if m.BytesRead < 0 || m.BytesWritten < 0 || m.Flops < 0 {
+		t.Errorf("negative analytic metrics: %+v", m)
+	}
+	if m.BytesRead+m.BytesWritten+m.Flops == 0 {
+		t.Error("kernel reports no work at all")
+	}
+	mix := k.Mix()
+	if mix.Loads < 0 || mix.Stores < 0 || mix.Flops < 0 || mix.Atomics < 0 {
+		t.Errorf("negative mix fields: %+v", mix)
+	}
+	if mix.WorkingSetBytes <= 0 {
+		t.Errorf("mix must report a working set: %+v", mix)
+	}
+	if mix.BrMissRate < 0 || mix.BrMissRate > 1 || mix.Reuse < 0 || mix.Reuse > 1 {
+		t.Errorf("mix rates out of [0,1]: %+v", mix)
+	}
+
+	// Metrics should scale with problem size for O(n) kernels.
+	if k.Info().Complexity == kernels.CxN {
+		big := rp
+		big.Size = rp.Size * 2
+		k2, _ := kernels.New(k.Info().FullName())
+		k2.SetUp(big)
+		m2 := k2.Metrics()
+		k2.TearDown()
+		if m2.BytesRead+m2.BytesWritten+m2.Flops <= m.BytesRead+m.BytesWritten+m.Flops {
+			t.Error("analytic work did not grow with problem size")
+		}
+	}
+}
+
+func checkUnsupportedVariants(t *testing.T, k kernels.Kernel) {
+	t.Helper()
+	rp := Params()
+	k.SetUp(rp)
+	defer k.TearDown()
+	for v := kernels.VariantID(0); v < kernels.NumVariants; v++ {
+		if k.Info().HasVariant(v) {
+			continue
+		}
+		err := k.Run(v, rp)
+		if err == nil {
+			t.Errorf("Run(%s) succeeded but variant is not declared", v)
+			continue
+		}
+		var uns *kernels.ErrVariantUnsupported
+		if !errors.As(err, &uns) {
+			t.Errorf("Run(%s) error = %v, want ErrVariantUnsupported", v, err)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+// Package lcals implements the Lcals group of the RAJA Performance Suite:
+// kernels from the Livermore Fortran Kernels (McMahon, 1986) as translated
+// into C++ in the Livermore Compiler Analysis Loop Suite. They are compact
+// loops designed to probe compiler optimization — streaming polynomial
+// predictors, hydro fragments, recurrences, and a min-location search.
+// The paper's clustering places nearly all of them in the most
+// memory-bound cluster (cluster 2, Fig 7).
+package lcals
+
+import "rajaperf/internal/kernels"
+
+const (
+	defaultSize = 100_000
+	defaultReps = 5
+)
+
+// unitMix builds the instruction mix of a unit-stride Lcals loop touching
+// narrays arrays of n elements.
+func unitMix(flops, loads, stores, ilp float64, narrays, n int) kernels.Mix {
+	return kernels.Mix{
+		Flops:           flops,
+		Loads:           loads,
+		Stores:          stores,
+		Pattern:         kernels.AccessUnit,
+		ILP:             ilp,
+		WorkingSetBytes: 8 * float64(narrays) * float64(n),
+		FootprintKB:     0.4,
+	}
+}

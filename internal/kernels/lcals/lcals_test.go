@@ -1,0 +1,82 @@
+package lcals_test
+
+import (
+	"testing"
+
+	"rajaperf/internal/kernels"
+	"rajaperf/internal/kernels/kerneltest"
+	_ "rajaperf/internal/kernels/lcals"
+)
+
+func TestLcalsGroupConformance(t *testing.T) {
+	kerneltest.CheckGroup(t, kernels.Lcals)
+}
+
+func TestLcalsRoster(t *testing.T) {
+	ks := kernels.ByGroup(kernels.Lcals)
+	if len(ks) != 11 {
+		names := make([]string, 0, len(ks))
+		for _, k := range ks {
+			names = append(names, k.Info().Name)
+		}
+		t.Fatalf("Lcals group has %d kernels, want 11: %v", len(ks), names)
+	}
+}
+
+func TestFirstMinFindsPlantedMinimum(t *testing.T) {
+	k, err := kernels.New("Lcals_FIRST_MIN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := kernels.RunParams{Size: 10_000, Reps: 1, Workers: 4}
+	k.SetUp(rp)
+	if err := k.Run(kernels.RAJAGPU, rp); err != nil {
+		t.Fatal(err)
+	}
+	// Checksum is minVal + minLoc; the planted minimum is -1e10 at n/2.
+	want := -1e10 + 5000
+	if got := k.Checksum(); got != want {
+		t.Errorf("FIRST_MIN checksum = %v, want %v", got, want)
+	}
+	k.TearDown()
+}
+
+func TestFirstDiffValues(t *testing.T) {
+	k, _ := kernels.New("Lcals_FIRST_DIFF")
+	rp := kernels.RunParams{Size: 64, Reps: 1}
+	k.SetUp(rp)
+	if err := k.Run(kernels.BaseSeq, rp); err != nil {
+		t.Fatal(err)
+	}
+	// Independent recomputation of the digest.
+	y := make([]float64, 65)
+	kernels.InitData(y, 1.0)
+	x := make([]float64, 64)
+	for i := range x {
+		x[i] = y[i+1] - y[i]
+	}
+	if got, want := k.Checksum(), kernels.ChecksumSlice(x); got != want {
+		t.Errorf("FIRST_DIFF checksum = %v, want %v", got, want)
+	}
+	k.TearDown()
+}
+
+func TestLcalsKernelsAreMemoryLeaning(t *testing.T) {
+	// Fig 7: LCALS kernels cluster with Stream in the most memory-bound
+	// cluster. Verify their analytic intensity is low (< 2 flops/byte)
+	// for the streaming members.
+	for _, name := range []string{
+		"Lcals_FIRST_DIFF", "Lcals_FIRST_SUM", "Lcals_HYDRO_1D",
+		"Lcals_TRIDIAG_ELIM", "Lcals_DIFF_PREDICT",
+	} {
+		k, err := kernels.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k.SetUp(kernels.RunParams{Size: 10_000})
+		if ai := k.Metrics().FlopsPerByte(); ai >= 2 {
+			t.Errorf("%s flops/byte = %v, expected streaming (< 2)", name, ai)
+		}
+		k.TearDown()
+	}
+}

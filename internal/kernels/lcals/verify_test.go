@@ -1,0 +1,91 @@
+package lcals_test
+
+import (
+	"math"
+	"testing"
+
+	"rajaperf/internal/kernels"
+)
+
+func TestEosAgainstDirectFormula(t *testing.T) {
+	k, _ := kernels.New("Lcals_EOS")
+	const n = 300
+	rp := kernels.RunParams{Size: n, Reps: 1}
+	k.SetUp(rp)
+	if err := k.Run(kernels.BaseSeq, rp); err != nil {
+		t.Fatal(err)
+	}
+	got := k.Checksum()
+	k.TearDown()
+
+	y := make([]float64, n+7)
+	z := make([]float64, n+7)
+	u := make([]float64, n+7)
+	kernels.InitData(y, 1.0)
+	kernels.InitData(z, 2.0)
+	kernels.InitData(u, 3.0)
+	const q, r, tt = 0.00100, 0.00061, 0.00027
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = u[i] + r*(z[i]+r*y[i]) +
+			tt*(u[i+3]+r*(u[i+2]+r*u[i+1])+
+				tt*(u[i+6]+q*(u[i+5]+q*u[i+4])))
+	}
+	want := kernels.ChecksumSlice(x)
+	if math.Abs(got-want) > 1e-9*math.Abs(want) {
+		t.Errorf("EOS checksum = %v, want %v", got, want)
+	}
+}
+
+func TestHydro1DAgainstDirectFormula(t *testing.T) {
+	k, _ := kernels.New("Lcals_HYDRO_1D")
+	const n = 300
+	rp := kernels.RunParams{Size: n, Reps: 1}
+	k.SetUp(rp)
+	if err := k.Run(kernels.RAJAOpenMP, rp); err != nil {
+		t.Fatal(err)
+	}
+	got := k.Checksum()
+	k.TearDown()
+
+	y := make([]float64, n+12)
+	z := make([]float64, n+12)
+	kernels.InitData(y, 1.0)
+	kernels.InitData(z, 2.0)
+	const q, r, tt = 0.00100, 0.00061, 0.00027
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = q + y[i]*(r*z[i+10]+tt*z[i+11])
+	}
+	want := kernels.ChecksumSlice(x)
+	if math.Abs(got-want) > 1e-9*math.Abs(want) {
+		t.Errorf("HYDRO_1D checksum = %v, want %v", got, want)
+	}
+}
+
+func TestTridiagElimAgainstDirectFormula(t *testing.T) {
+	k, _ := kernels.New("Lcals_TRIDIAG_ELIM")
+	const n = 200
+	rp := kernels.RunParams{Size: n, Reps: 1}
+	k.SetUp(rp)
+	if err := k.Run(kernels.BaseGPU, rp); err != nil {
+		t.Fatal(err)
+	}
+	got := k.Checksum()
+	k.TearDown()
+
+	xin := make([]float64, n)
+	y := make([]float64, n)
+	z := make([]float64, n)
+	kernels.InitData(xin, 1.0)
+	kernels.InitData(y, 2.0)
+	kernels.InitData(z, 3.0)
+	xout := make([]float64, n)
+	for i := 1; i < n; i++ {
+		xout[i] = z[i] * (y[i] - xin[i-1])
+	}
+	want := kernels.ChecksumSlice(xout)
+	if math.Abs(got-want) > 1e-9*math.Abs(want) {
+		t.Errorf("TRIDIAG_ELIM checksum = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,73 @@
+// Package polybench implements the Polybench group of the RAJA Performance
+// Suite: kernels from the PolyBench suite (Pouchet) used to study
+// polyhedral compiler optimization — dense matrix products, matrix-vector
+// chains, stencils in one to three dimensions, ADI sweeps, and
+// Floyd-Warshall shortest paths.
+//
+// Problem size is total data storage; matrix kernels derive their edge
+// lengths from it, so the O(n^{3/2}) members do more work per element than
+// the O(n) members, which the paper flags when comparing decompositions
+// (Sec IV, V-B).
+package polybench
+
+import (
+	"math"
+
+	"rajaperf/internal/kernels"
+)
+
+const (
+	defaultSize = 100_000
+	defaultReps = 3
+)
+
+// edge2D returns the matrix edge for a kernel storing narrays square
+// matrices within the given total size.
+func edge2D(size, narrays int) int {
+	e := int(math.Sqrt(float64(size) / float64(narrays)))
+	if e < 8 {
+		e = 8
+	}
+	return e
+}
+
+// matMix is the instruction mix of a dense matrix-product inner loop.
+// Like the MAT_MAT_SHARED probe, tiled products reach the full calibrated
+// FP efficiency on GPUs.
+func matMix(wsBytes float64) kernels.Mix {
+	return kernels.Mix{
+		Flops: 2, Loads: 2, Stores: 0.02,
+		Pattern: kernels.AccessUnit, Reuse: 0.93,
+		ILP:             2,
+		WorkingSetBytes: wsBytes,
+		FootprintKB:     1.2,
+		GPUFlopEff:      1,
+	}
+}
+
+// matvecMix is the instruction mix of a matrix-vector inner loop: the
+// matrix streams through with no reuse, the vector stays resident.
+func matvecMix(wsBytes float64, strided bool) kernels.Mix {
+	p := kernels.AccessUnit
+	if strided {
+		p = kernels.AccessStrided
+	}
+	return kernels.Mix{
+		Flops: 2, Loads: 2, Stores: 0.02,
+		Pattern: p, Reuse: 0.45,
+		ILP:             3,
+		WorkingSetBytes: wsBytes,
+		FootprintKB:     0.8,
+	}
+}
+
+// stencilMix is the instruction mix of a ping-pong stencil sweep.
+func stencilMix(flops, loads float64, wsBytes float64) kernels.Mix {
+	return kernels.Mix{
+		Flops: flops, Loads: loads, Stores: 1,
+		Pattern: kernels.AccessUnit, Reuse: 0.4,
+		ILP:             3,
+		WorkingSetBytes: wsBytes,
+		FootprintKB:     0.8,
+	}
+}

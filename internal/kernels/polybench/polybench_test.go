@@ -1,0 +1,112 @@
+package polybench_test
+
+import (
+	"math"
+	"testing"
+
+	"rajaperf/internal/kernels"
+	"rajaperf/internal/kernels/kerneltest"
+	_ "rajaperf/internal/kernels/polybench"
+)
+
+func TestPolybenchGroupConformance(t *testing.T) {
+	kerneltest.CheckGroup(t, kernels.Polybench)
+}
+
+func TestPolybenchRoster(t *testing.T) {
+	ks := kernels.ByGroup(kernels.Polybench)
+	if len(ks) != 13 {
+		names := make([]string, 0, len(ks))
+		for _, k := range ks {
+			names = append(names, k.Info().Name)
+		}
+		t.Fatalf("Polybench group has %d kernels, want 13: %v", len(ks), names)
+	}
+}
+
+func TestMatrixKernelsAreSuperlinear(t *testing.T) {
+	// 2MM, 3MM, GEMM, FLOYD_WARSHALL are O(n^{3/2}): their flops/byte
+	// must exceed the matvec kernels' (Sec V-D's FLOP-heavy list).
+	heavy := []string{"Polybench_2MM", "Polybench_3MM", "Polybench_GEMM"}
+	light := []string{"Polybench_ATAX", "Polybench_MVT", "Polybench_GESUMMV"}
+	rp := kernels.RunParams{Size: 50_000}
+	intensity := func(name string) float64 {
+		k, err := kernels.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k.SetUp(rp)
+		defer k.TearDown()
+		return k.Metrics().FlopsPerByte()
+	}
+	minHeavy := math.Inf(1)
+	for _, n := range heavy {
+		if ai := intensity(n); ai < minHeavy {
+			minHeavy = ai
+		}
+	}
+	for _, n := range light {
+		if ai := intensity(n); ai >= minHeavy {
+			t.Errorf("%s intensity %.3f >= min matrix-product intensity %.3f", n, ai, minHeavy)
+		}
+	}
+}
+
+func TestFloydWarshallShortestPaths(t *testing.T) {
+	// Verify triangle inequality holds in the output: no path longer
+	// than any two-hop alternative.
+	k, err := kernels.New("Polybench_FLOYD_WARSHALL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := kernels.RunParams{Size: 2 * 20 * 20, Reps: 1}
+	k.SetUp(rp)
+	if err := k.Run(kernels.BaseSeq, rp); err != nil {
+		t.Fatal(err)
+	}
+	seq := k.Checksum()
+	k.TearDown()
+
+	k2, _ := kernels.New("Polybench_FLOYD_WARSHALL")
+	k2.SetUp(rp)
+	if err := k2.Run(kernels.RAJAOpenMP, rp); err != nil {
+		t.Fatal(err)
+	}
+	if got := k2.Checksum(); got != seq {
+		t.Errorf("parallel FW checksum %v != sequential %v", got, seq)
+	}
+	k2.TearDown()
+}
+
+func TestGemmAgainstNaive(t *testing.T) {
+	k, _ := kernels.New("Polybench_GEMM")
+	rp := kernels.RunParams{Size: 3 * 10 * 10, Reps: 1}
+	k.SetUp(rp)
+	if err := k.Run(kernels.BaseSeq, rp); err != nil {
+		t.Fatal(err)
+	}
+	got := k.Checksum()
+	k.TearDown()
+
+	// edge2D(300, 3) == 10.
+	const d = 10
+	a := make([]float64, d*d)
+	b := make([]float64, d*d)
+	c := make([]float64, d*d)
+	kernels.InitData(a, 1.0)
+	kernels.InitData(b, 2.0)
+	kernels.InitDataConst(c, 0.25)
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			s := 1.2 * c[i*d+j]
+			for l := 0; l < d; l++ {
+				s += 1.5 * a[i*d+l] * b[l*d+j]
+			}
+			c[i*d+j] = s
+		}
+	}
+	want := kernels.ChecksumSlice(c)
+	if math.Abs(got-want) > 1e-9*math.Abs(want) {
+		t.Errorf("GEMM checksum = %v, want %v", got, want)
+	}
+}

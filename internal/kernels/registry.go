@@ -1,0 +1,99 @@
+package kernels
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// registry holds kernel factories in registration order.
+var registry = struct {
+	sync.Mutex
+	order     []string
+	factories map[string]func() Kernel
+}{factories: map[string]func() Kernel{}}
+
+// Register adds a kernel factory to the global registry. It panics if a
+// kernel with the same full name is already registered. Kernel packages
+// call it from init.
+func Register(f func() Kernel) {
+	name := f().Info().FullName()
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.factories[name]; dup {
+		panic(fmt.Sprintf("kernels: duplicate registration of %s", name))
+	}
+	registry.factories[name] = f
+	registry.order = append(registry.order, name)
+}
+
+// Names returns the full names of all registered kernels sorted by group
+// then name, the order the paper's figures use.
+func Names() []string {
+	registry.Lock()
+	names := append([]string(nil), registry.order...)
+	factories := registry.factories
+	registry.Unlock()
+	sort.Slice(names, func(i, j int) bool {
+		a, b := factories[names[i]]().Info(), factories[names[j]]().Info()
+		if a.Group != b.Group {
+			return a.Group < b.Group
+		}
+		return a.Name < b.Name
+	})
+	return names
+}
+
+// New constructs a fresh instance of the named kernel.
+func New(fullName string) (Kernel, error) {
+	registry.Lock()
+	f, ok := registry.factories[fullName]
+	registry.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("kernels: unknown kernel %q", fullName)
+	}
+	return f(), nil
+}
+
+// All constructs one instance of every registered kernel in figure order.
+func All() []Kernel {
+	names := Names()
+	ks := make([]Kernel, 0, len(names))
+	for _, n := range names {
+		k, err := New(n)
+		if err != nil {
+			panic(err) // unreachable: names came from the registry
+		}
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// ByGroup constructs all kernels of one group in figure order.
+func ByGroup(g Group) []Kernel {
+	var ks []Kernel
+	for _, k := range All() {
+		if k.Info().Group == g {
+			ks = append(ks, k)
+		}
+	}
+	return ks
+}
+
+// WithFeature constructs all kernels annotated with feature f.
+func WithFeature(f Feature) []Kernel {
+	var ks []Kernel
+	for _, k := range All() {
+		if k.Info().HasFeature(f) {
+			ks = append(ks, k)
+		}
+	}
+	return ks
+}
+
+// Count returns the number of registered kernels.
+func Count() int {
+	registry.Lock()
+	defer registry.Unlock()
+	return len(registry.factories)
+}

@@ -1,0 +1,34 @@
+// Package stream implements the Stream group of the RAJA Performance
+// Suite: the five McCalpin STREAM kernels (ADD, COPY, DOT, MUL, TRIAD)
+// that measure sustainable memory bandwidth. Stream_TRIAD is the paper's
+// bandwidth probe for Table II and the yellow reference line in Fig 9.
+package stream
+
+import "rajaperf/internal/kernels"
+
+// allVariants is the full variant set; every Stream kernel implements all
+// back-ends (Table I shows the Stream rows fully populated).
+var allVariants = []kernels.VariantID{
+	kernels.BaseSeq, kernels.LambdaSeq, kernels.RAJASeq,
+	kernels.BaseOpenMP, kernels.LambdaOpenMP, kernels.RAJAOpenMP,
+	kernels.BaseGPU, kernels.RAJAGPU,
+}
+
+const (
+	defaultSize = 100_000
+	defaultReps = 5
+)
+
+// streamMix returns the shared instruction-mix shape of a streaming kernel
+// with the given per-element operation counts.
+func streamMix(flops, loads, stores float64, n int) kernels.Mix {
+	return kernels.Mix{
+		Flops:           flops,
+		Loads:           loads,
+		Stores:          stores,
+		Pattern:         kernels.AccessUnit,
+		ILP:             4,
+		WorkingSetBytes: (loads + stores) * 8 * float64(n),
+		FootprintKB:     0.25,
+	}
+}

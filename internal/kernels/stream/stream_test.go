@@ -1,0 +1,79 @@
+package stream_test
+
+import (
+	"math"
+	"testing"
+
+	"rajaperf/internal/kernels"
+	"rajaperf/internal/kernels/kerneltest"
+	_ "rajaperf/internal/kernels/stream"
+)
+
+func TestStreamGroupConformance(t *testing.T) {
+	kerneltest.CheckGroup(t, kernels.Stream)
+}
+
+func TestStreamRoster(t *testing.T) {
+	ks := kernels.ByGroup(kernels.Stream)
+	if len(ks) != 5 {
+		t.Fatalf("Stream group has %d kernels, want 5", len(ks))
+	}
+	want := map[string]bool{"ADD": true, "COPY": true, "DOT": true, "MUL": true, "TRIAD": true}
+	for _, k := range ks {
+		if !want[k.Info().Name] {
+			t.Errorf("unexpected Stream kernel %s", k.Info().Name)
+		}
+	}
+}
+
+func TestTriadComputesExpectedValues(t *testing.T) {
+	k, err := kernels.New("Stream_TRIAD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := kernels.RunParams{Size: 100, Reps: 1}
+	k.SetUp(rp)
+	if err := k.Run(kernels.BaseSeq, rp); err != nil {
+		t.Fatal(err)
+	}
+	// b[i] + 0.62*c[i] with the InitData pattern at i=0:
+	// b[0] = 1.0*0.1*1/10 = 0.01, c[0] = 2.0*0.1*1/10 = 0.02.
+	wantA0 := 0.01 + 0.62*0.02
+	// The checksum at index 0 contributes wantA0 * 1 * 1e-3; spot-check
+	// the full digest against an independent computation.
+	var want float64
+	for i := 0; i < 100; i++ {
+		b := 1.0 * 0.1 * float64(i%10+1) / 10.0
+		c := 2.0 * 0.1 * float64(i%10+1) / 10.0
+		want += (b + 0.62*c) * (float64(i%1024) + 1) * 1e-3
+	}
+	if got := k.Checksum(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("checksum = %v, want %v", got, want)
+	}
+	_ = wantA0
+	k.TearDown()
+}
+
+func TestStreamAnalyticMetricsShape(t *testing.T) {
+	// Fig 1 shape: TRIAD reads 2 doubles and writes 1 per element; DOT
+	// reads 2 and writes none; its read:write character is why the
+	// paper uses TRIAD as the bandwidth reference.
+	rp := kernels.RunParams{Size: 1000}
+	triad, _ := kernels.New("Stream_TRIAD")
+	triad.SetUp(rp)
+	m := triad.Metrics()
+	if m.BytesRead != 16000 || m.BytesWritten != 8000 || m.Flops != 2000 {
+		t.Errorf("TRIAD metrics = %+v", m)
+	}
+	if ai := m.FlopsPerByte(); math.Abs(ai-2000.0/24000.0) > 1e-12 {
+		t.Errorf("TRIAD flops/byte = %v", ai)
+	}
+	dot, _ := kernels.New("Stream_DOT")
+	dot.SetUp(rp)
+	if dm := dot.Metrics(); dm.BytesWritten != 0 {
+		t.Errorf("DOT should write no array data: %+v", dm)
+	}
+	if !dot.Info().HasFeature(kernels.FeatReduction) {
+		t.Error("DOT must carry the Reduction feature annotation")
+	}
+}

@@ -1,0 +1,111 @@
+package machine
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPaperRoster(t *testing.T) {
+	ms := Paper()
+	if len(ms) != 4 {
+		t.Fatalf("Paper() returned %d machines, want 4", len(ms))
+	}
+	wantOrder := []string{"SPR-DDR", "SPR-HBM", "P9-V100", "EPYC-MI250X"}
+	for i, m := range ms {
+		if m.Shorthand != wantOrder[i] {
+			t.Errorf("row %d = %s, want %s", i, m.Shorthand, wantOrder[i])
+		}
+	}
+}
+
+func TestTableIIValues(t *testing.T) {
+	cases := []struct {
+		name                 string
+		tflopsNode, bwNode   float64
+		achievedTF, achBWTBs float64
+		ranks                int
+		kind                 Kind
+	}{
+		{"SPR-DDR", 4.7, 0.6, 0.8, 0.47, 112, CPU},
+		{"SPR-HBM", 4.7, 3.3, 0.7, 1.1, 112, CPU},
+		{"P9-V100", 31.2, 3.6, 7.0, 3.3, 4, GPU},
+		{"EPYC-MI250X", 191.5, 12.8, 13.3, 10.2, 8, GPU},
+	}
+	for _, c := range cases {
+		m, err := ByName(c.name)
+		if err != nil {
+			t.Fatalf("ByName(%s): %v", c.name, err)
+		}
+		if m.PeakTFLOPSNode != c.tflopsNode {
+			t.Errorf("%s peak TFLOPS = %v, want %v", c.name, m.PeakTFLOPSNode, c.tflopsNode)
+		}
+		if m.PeakBWTBsNode != c.bwNode {
+			t.Errorf("%s peak BW = %v, want %v", c.name, m.PeakBWTBsNode, c.bwNode)
+		}
+		// Achieved rates must land within 10% of the paper's probe
+		// measurements (they are peak * calibrated fraction).
+		if got := m.AchievedTFLOPSNode(); math.Abs(got-c.achievedTF)/c.achievedTF > 0.10 {
+			t.Errorf("%s achieved TFLOPS = %.2f, want ~%.2f", c.name, got, c.achievedTF)
+		}
+		if got := m.AchievedBWTBsNode(); math.Abs(got-c.achBWTBs)/c.achBWTBs > 0.10 {
+			t.Errorf("%s achieved BW = %.2f, want ~%.2f", c.name, got, c.achBWTBs)
+		}
+		if m.Ranks != c.ranks {
+			t.Errorf("%s ranks = %d, want %d", c.name, m.Ranks, c.ranks)
+		}
+		if m.Kind != c.kind {
+			t.Errorf("%s kind = %v, want %v", c.name, m.Kind, c.kind)
+		}
+	}
+}
+
+func TestKindSpecificParamsPresent(t *testing.T) {
+	for _, m := range Paper() {
+		switch m.Kind {
+		case CPU:
+			if m.CPU == nil || m.GPU != nil {
+				t.Errorf("%s: CPU machine must have CPU params only", m)
+			}
+			if m.CPU.Cores <= 0 || m.CPU.IssueWidth <= 0 {
+				t.Errorf("%s: invalid CPU params %+v", m, m.CPU)
+			}
+		case GPU:
+			if m.GPU == nil || m.CPU != nil {
+				t.Errorf("%s: GPU machine must have GPU params only", m)
+			}
+			if m.GPU.SMs <= 0 || m.GPU.SectorBytes <= 0 || m.GPU.DRAMGTXNs <= 0 {
+				t.Errorf("%s: invalid GPU params %+v", m, m.GPU)
+			}
+		}
+	}
+}
+
+func TestHBMFasterThanDDR(t *testing.T) {
+	ddr, hbm := SPRDDR(), SPRHBM()
+	if hbm.AchievedBWTBsNode() <= ddr.AchievedBWTBsNode() {
+		t.Error("SPR-HBM must have higher achieved bandwidth than SPR-DDR")
+	}
+	// Same compute: the HBM node does not raise the FLOP ceiling (Fig 10).
+	if math.Abs(hbm.PeakTFLOPSNode-ddr.PeakTFLOPSNode) > 1e-9 {
+		t.Error("SPR DDR and HBM nodes must share the same peak FLOPS")
+	}
+}
+
+func TestByNameErrors(t *testing.T) {
+	if _, err := ByName("Frontier"); err == nil {
+		t.Error("ByName must reject unknown systems")
+	}
+	h, err := ByName("Host")
+	if err != nil || h.CPU == nil {
+		t.Errorf("ByName(Host) = %v, %v", h, err)
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	if CPU.String() != "CPU" || GPU.String() != "GPU" {
+		t.Error("Kind.String wrong")
+	}
+	if SPRDDR().String() != "SPR-DDR" {
+		t.Error("Machine.String should be the shorthand")
+	}
+}

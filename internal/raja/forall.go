@@ -1,0 +1,168 @@
+package raja
+
+import "sync"
+
+// Ctx carries per-iteration execution context to kernel bodies. Worker is a
+// dense index in [0, Policy.MaxWorkers()) identifying the executing lane;
+// reducers use it to select a private accumulation slot.
+type Ctx struct {
+	Worker int
+}
+
+// Body is a forall loop body invoked once per index.
+type Body func(c Ctx, i int)
+
+// Range is a half-open iteration space [Begin, End).
+type Range struct {
+	Begin, End int
+}
+
+// Len returns the number of iterations in the range.
+func (r Range) Len() int {
+	if r.End <= r.Begin {
+		return 0
+	}
+	return r.End - r.Begin
+}
+
+// RangeN returns the range [0, n).
+func RangeN(n int) Range { return Range{0, n} }
+
+// Forall executes body for every index in [0, n) under policy p.
+func Forall(p Policy, n int, body Body) {
+	ForallRange(p, RangeN(n), body)
+}
+
+// ForallRange executes body for every index in r under policy p.
+// Under Seq the iterations run in order on the calling goroutine. Under Par
+// the range is split into one contiguous chunk per worker. Under GPU the
+// range is split into blocks of p.Block iterations distributed dynamically
+// across workers, mirroring thread-block scheduling.
+func ForallRange(p Policy, r Range, body Body) {
+	n := r.Len()
+	if n == 0 {
+		return
+	}
+	switch p.Kind {
+	case Seq:
+		c := Ctx{}
+		for i := r.Begin; i < r.End; i++ {
+			body(c, i)
+		}
+	case Par:
+		forallChunked(p.workers(), r, body)
+	case GPU:
+		forallBlocked(p.workers(), p.block(), r, body)
+	}
+}
+
+// forallChunked splits r into one contiguous chunk per worker (static
+// schedule, like OpenMP's default).
+func forallChunked(workers int, r Range, body Body) {
+	n := r.Len()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		c := Ctx{}
+		for i := r.Begin; i < r.End; i++ {
+			body(c, i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := r.Begin + w*chunk
+		hi := lo + chunk
+		if hi > r.End {
+			hi = r.End
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			c := Ctx{Worker: w}
+			for i := lo; i < hi; i++ {
+				body(c, i)
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// forallBlocked distributes fixed-size blocks across workers using a shared
+// cursor (dynamic schedule), the scheduling shape of a GPU grid.
+func forallBlocked(workers, block int, r Range, body Body) {
+	n := r.Len()
+	blocks := (n + block - 1) / block
+	if workers > blocks {
+		workers = blocks
+	}
+	if workers <= 1 {
+		c := Ctx{}
+		for i := r.Begin; i < r.End; i++ {
+			body(c, i)
+		}
+		return
+	}
+	var (
+		wg     sync.WaitGroup
+		cursor counter
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := Ctx{Worker: w}
+			for {
+				b := cursor.next()
+				if b >= blocks {
+					return
+				}
+				lo := r.Begin + b*block
+				hi := lo + block
+				if hi > r.End {
+					hi = r.End
+				}
+				for i := lo; i < hi; i++ {
+					body(c, i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Forall2D executes body over the iteration space [0,ni) x [0,nj), with the
+// outer (i) dimension distributed according to p. Bodies observe j varying
+// fastest, matching the suite's nested-loop kernels.
+func Forall2D(p Policy, ni, nj int, body func(c Ctx, i, j int)) {
+	ForallRange(p, RangeN(ni), func(c Ctx, i int) {
+		for j := 0; j < nj; j++ {
+			body(c, i, j)
+		}
+	})
+}
+
+// Forall3D executes body over [0,ni) x [0,nj) x [0,nk) with the outer
+// dimension distributed according to p and k varying fastest.
+func Forall3D(p Policy, ni, nj, nk int, body func(c Ctx, i, j, k int)) {
+	ForallRange(p, RangeN(ni), func(c Ctx, i int) {
+		for j := 0; j < nj; j++ {
+			for k := 0; k < nk; k++ {
+				body(c, i, j, k)
+			}
+		}
+	})
+}
+
+// ForallSegments executes body over each index of each segment, mirroring
+// RAJA's TypedIndexSet dispatch over a list of ranges.
+func ForallSegments(p Policy, segs []Range, body Body) {
+	for _, s := range segs {
+		ForallRange(p, s, body)
+	}
+}

@@ -1,0 +1,197 @@
+package raja
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestReduceSumMatchesSequential(t *testing.T) {
+	const n = 10000
+	x := make([]float64, n)
+	want := 0.0
+	for i := range x {
+		x[i] = float64(i%13) * 0.5
+		want += x[i]
+	}
+	for _, p := range testPolicies {
+		r := NewReduceSum(p, 1.5)
+		Forall(p, n, func(c Ctx, i int) { r.Add(c, x[i]) })
+		if got := r.Get(); math.Abs(got-(want+1.5)) > 1e-9*want {
+			t.Errorf("policy %v: sum = %v, want %v", p, got, want+1.5)
+		}
+	}
+}
+
+func TestReduceSumReset(t *testing.T) {
+	p := ParPolicy(4)
+	r := NewReduceSum(p, 0.0)
+	Forall(p, 100, func(c Ctx, i int) { r.Add(c, 1) })
+	if r.Get() != 100 {
+		t.Fatalf("first pass sum = %v, want 100", r.Get())
+	}
+	r.Reset(5)
+	if r.Get() != 5 {
+		t.Fatalf("after reset sum = %v, want 5", r.Get())
+	}
+	Forall(p, 10, func(c Ctx, i int) { r.Add(c, 2) })
+	if r.Get() != 25 {
+		t.Fatalf("second pass sum = %v, want 25", r.Get())
+	}
+}
+
+func TestReduceMinMax(t *testing.T) {
+	const n = 5000
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(float64(i) * 0.7)
+	}
+	x[1234] = -9.5
+	x[4321] = 7.25
+	for _, p := range testPolicies {
+		mn := NewReduceMin(p, math.Inf(1))
+		mx := NewReduceMax(p, math.Inf(-1))
+		Forall(p, n, func(c Ctx, i int) {
+			mn.Min(c, x[i])
+			mx.Max(c, x[i])
+		})
+		if mn.Get() != -9.5 {
+			t.Errorf("policy %v: min = %v, want -9.5", p, mn.Get())
+		}
+		if mx.Get() != 7.25 {
+			t.Errorf("policy %v: max = %v, want 7.25", p, mx.Get())
+		}
+	}
+}
+
+func TestReduceMinRespectsInit(t *testing.T) {
+	p := ParPolicy(2)
+	mn := NewReduceMin(p, -100.0)
+	Forall(p, 100, func(c Ctx, i int) { mn.Min(c, float64(i)) })
+	if mn.Get() != -100 {
+		t.Fatalf("min = %v, want init value -100", mn.Get())
+	}
+}
+
+func TestReduceMinLocFindsFirstOccurrence(t *testing.T) {
+	const n = 4000
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 10
+	}
+	x[700] = -3
+	x[2900] = -3 // tie: location must resolve to 700
+	for _, p := range testPolicies {
+		r := NewReduceMinLoc(p, math.Inf(1), -1)
+		Forall(p, n, func(c Ctx, i int) { r.MinLoc(c, x[i], i) })
+		got := r.Get()
+		if got.Val != -3 || got.Loc != 700 {
+			t.Errorf("policy %v: minloc = (%v,%d), want (-3,700)", p, got.Val, got.Loc)
+		}
+	}
+}
+
+func TestReduceIntTypes(t *testing.T) {
+	p := GPUPolicy(128)
+	s := NewReduceSum[int64](p, 0)
+	mx := NewReduceMax[int](p, math.MinInt64)
+	Forall(p, 1000, func(c Ctx, i int) {
+		s.Add(c, int64(i))
+		mx.Max(c, i*3)
+	})
+	if s.Get() != 999*1000/2 {
+		t.Errorf("int64 sum = %d, want %d", s.Get(), 999*1000/2)
+	}
+	if mx.Get() != 2997 {
+		t.Errorf("int max = %d, want 2997", mx.Get())
+	}
+}
+
+func TestMultiReduceSum(t *testing.T) {
+	const n, bins = 9000, 7
+	for _, p := range testPolicies {
+		m := NewMultiReduceSum[float64](p, bins)
+		Forall(p, n, func(c Ctx, i int) { m.Add(c, i%bins, 1) })
+		got := make([]float64, bins)
+		m.GetAll(got)
+		for b := 0; b < bins; b++ {
+			want := float64(n / bins)
+			if n%bins > b {
+				want++
+			}
+			if got[b] != want {
+				t.Errorf("policy %v: bin %d = %v, want %v", p, b, got[b], want)
+			}
+			if m.Get(b) != got[b] {
+				t.Errorf("policy %v: Get(%d) != GetAll", p, b)
+			}
+		}
+	}
+}
+
+// Property: for any input vector, the parallel reduction equals the
+// sequential reduction exactly when summing integers.
+func TestQuickReduceSumIntEquivalence(t *testing.T) {
+	f := func(xs []int32) bool {
+		var want int64
+		for _, v := range xs {
+			want += int64(v)
+		}
+		p := ParPolicy(5)
+		r := NewReduceSum[int64](p, 0)
+		Forall(p, len(xs), func(c Ctx, i int) { r.Add(c, int64(xs[i])) })
+		return r.Get() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: min/max reducers agree with a sequential fold for any input.
+func TestQuickReduceMinMaxEquivalence(t *testing.T) {
+	f := func(xs []float32) bool {
+		p := GPUPolicy(16)
+		mn := NewReduceMin(p, float32(math.Inf(1)))
+		mx := NewReduceMax(p, float32(math.Inf(-1)))
+		Forall(p, len(xs), func(c Ctx, i int) {
+			mn.Min(c, xs[i])
+			mx.Max(c, xs[i])
+		})
+		wantMin, wantMax := float32(math.Inf(1)), float32(math.Inf(-1))
+		for _, v := range xs {
+			if v < wantMin {
+				wantMin = v
+			}
+			if v > wantMax {
+				wantMax = v
+			}
+		}
+		return mn.Get() == wantMin && mx.Get() == wantMax
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReduceMaxLocFindsFirstOccurrence(t *testing.T) {
+	const n = 4000
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = -10
+	}
+	x[900] = 42
+	x[3100] = 42 // tie: location must resolve to 900
+	for _, p := range testPolicies {
+		r := NewReduceMaxLoc(p, math.Inf(-1), -1)
+		Forall(p, n, func(c Ctx, i int) { r.MaxLoc(c, x[i], i) })
+		got := r.Get()
+		if got.Val != 42 || got.Loc != 900 {
+			t.Errorf("policy %v: maxloc = (%v,%d), want (42,900)", p, got.Val, got.Loc)
+		}
+	}
+	// Empty fold returns the initial pair.
+	r := NewReduceMaxLoc(SeqPolicy(), 7.5, 3)
+	if got := r.Get(); got.Val != 7.5 || got.Loc != 3 {
+		t.Errorf("empty maxloc = %+v", got)
+	}
+}

@@ -1,0 +1,109 @@
+package raja
+
+import "sync"
+
+// InclusiveScanSum writes the inclusive prefix sum of src into dst
+// (RAJA::inclusive_scan). Under parallel policies it uses the classic
+// three-phase scan: per-chunk partial sums, a sequential scan of the chunk
+// totals, then a per-chunk fix-up pass.
+func InclusiveScanSum[T Number](p Policy, dst, src []T) {
+	scanSum(p, dst, src, false)
+}
+
+// ExclusiveScanSum writes the exclusive prefix sum of src into dst
+// (RAJA::exclusive_scan); dst[0] is zero.
+func ExclusiveScanSum[T Number](p Policy, dst, src []T) {
+	scanSum(p, dst, src, true)
+}
+
+func scanSum[T Number](p Policy, dst, src []T, exclusive bool) {
+	n := len(src)
+	if len(dst) != n {
+		panic("raja: scan length mismatch")
+	}
+	if n == 0 {
+		return
+	}
+	workers := p.workers()
+	if p.Kind == Seq || workers <= 1 || n < 4*workers {
+		var acc T
+		if exclusive {
+			for i := 0; i < n; i++ {
+				dst[i] = acc
+				acc += src[i]
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				acc += src[i]
+				dst[i] = acc
+			}
+		}
+		return
+	}
+
+	chunk := (n + workers - 1) / workers
+	totals := make([]T, workers)
+
+	// Phase 1: independent per-chunk scans.
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := bounds(w, chunk, n)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var acc T
+			if exclusive {
+				for i := lo; i < hi; i++ {
+					dst[i] = acc
+					acc += src[i]
+				}
+			} else {
+				for i := lo; i < hi; i++ {
+					acc += src[i]
+					dst[i] = acc
+				}
+			}
+			totals[w] = acc
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	// Phase 2: scan the chunk totals sequentially.
+	var run T
+	offsets := make([]T, workers)
+	for w := 0; w < workers; w++ {
+		offsets[w] = run
+		run += totals[w]
+	}
+
+	// Phase 3: add each chunk's offset.
+	for w := 1; w < workers; w++ {
+		lo, hi := bounds(w, chunk, n)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(off T, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				dst[i] += off
+			}
+		}(offsets[w], lo, hi)
+	}
+	wg.Wait()
+}
+
+func bounds(w, chunk, n int) (int, int) {
+	lo := w * chunk
+	hi := lo + chunk
+	if hi > n {
+		hi = n
+	}
+	if lo > n {
+		lo = n
+	}
+	return lo, hi
+}

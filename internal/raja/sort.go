@@ -1,0 +1,121 @@
+package raja
+
+import (
+	"sort"
+	"sync"
+)
+
+// Sort sorts x ascending (RAJA::sort). Under parallel policies it sorts
+// per-worker chunks concurrently and merges pairwise.
+func Sort[T Number](p Policy, x []T) {
+	workers := p.workers()
+	if p.Kind == Seq || workers <= 1 || len(x) < 4*workers {
+		sort.Slice(x, func(i, j int) bool { return x[i] < x[j] })
+		return
+	}
+	parallelMergeSort(x, workers)
+}
+
+func parallelMergeSort[T Number](x []T, workers int) {
+	n := len(x)
+	// Round workers down to a power of two so the merge tree is balanced.
+	chunks := 1
+	for chunks*2 <= workers {
+		chunks *= 2
+	}
+	chunk := (n + chunks - 1) / chunks
+	var wg sync.WaitGroup
+	for c := 0; c < chunks; c++ {
+		lo, hi := bounds(c, chunk, n)
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(s []T) {
+			defer wg.Done()
+			sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		}(x[lo:hi])
+	}
+	wg.Wait()
+
+	src, dst := x, make([]T, n)
+	swapped := false
+	for width := chunk; width < n; width *= 2 {
+		var mg sync.WaitGroup
+		for lo := 0; lo < n; lo += 2 * width {
+			mid := lo + width
+			hi := lo + 2*width
+			if mid > n {
+				mid = n
+			}
+			if hi > n {
+				hi = n
+			}
+			if mid >= hi {
+				copy(dst[lo:hi], src[lo:hi])
+				continue
+			}
+			mg.Add(1)
+			go func(lo, mid, hi int) {
+				defer mg.Done()
+				mergeInto(dst[lo:hi], src[lo:mid], src[mid:hi])
+			}(lo, mid, hi)
+		}
+		mg.Wait()
+		src, dst = dst, src
+		swapped = !swapped
+	}
+	if swapped {
+		copy(x, src)
+	}
+}
+
+// mergeInto merges sorted slices a and b into dst (len(dst) = len(a)+len(b)).
+func mergeInto[T Number](dst, a, b []T) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if b[j] < a[i] {
+			dst[k] = b[j]
+			j++
+		} else {
+			dst[k] = a[i]
+			i++
+		}
+		k++
+	}
+	for i < len(a) {
+		dst[k] = a[i]
+		i++
+		k++
+	}
+	for j < len(b) {
+		dst[k] = b[j]
+		j++
+		k++
+	}
+}
+
+// SortPairs sorts keys ascending and applies the same permutation to vals
+// (RAJA::sort_pairs). The sort is stable so equal keys keep their value
+// order across policies.
+func SortPairs[K Number, V any](p Policy, keys []K, vals []V) {
+	if len(keys) != len(vals) {
+		panic("raja: SortPairs length mismatch")
+	}
+	idx := make([]int, len(keys))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	permute(keys, idx)
+	permute(vals, idx)
+}
+
+// permute rearranges x so that x'[i] = x[idx[i]].
+func permute[T any](x []T, idx []int) {
+	out := make([]T, len(x))
+	for i, j := range idx {
+		out[i] = x[j]
+	}
+	copy(x, out)
+}

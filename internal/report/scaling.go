@@ -1,0 +1,81 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"rajaperf/internal/kernels"
+)
+
+// ScalingRow is one kernel's strong-scaling measurement: wall time per
+// worker count and the parallel efficiency at the largest count.
+type ScalingRow struct {
+	Kernel     string
+	Times      map[int]float64 // workers -> best wall seconds
+	Efficiency float64         // t(1) / (t(max) * max)
+}
+
+// ScalingStudy measures strong scaling of the given kernels' RAJA_OpenMP
+// variant on the host across worker counts — the "kernel scalability with
+// the increase in computational resources" evaluation of Sec II-C.
+func ScalingStudy(names []string, workerCounts []int, size, reps int) ([]ScalingRow, error) {
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 4}
+	}
+	sort.Ints(workerCounts)
+	var rows []ScalingRow
+	for _, name := range names {
+		k, err := kernels.New(name)
+		if err != nil {
+			return nil, err
+		}
+		if !k.Info().HasVariant(kernels.RAJAOpenMP) {
+			continue
+		}
+		row := ScalingRow{Kernel: name, Times: map[int]float64{}}
+		for _, w := range workerCounts {
+			rp := kernels.RunParams{Size: size, Reps: reps, Workers: w}
+			k.SetUp(rp)
+			best := 0.0
+			for pass := 0; pass < 3; pass++ {
+				start := time.Now()
+				if err := k.Run(kernels.RAJAOpenMP, rp); err != nil {
+					k.TearDown()
+					return nil, err
+				}
+				if el := time.Since(start).Seconds(); pass == 0 || el < best {
+					best = el
+				}
+			}
+			k.TearDown()
+			row.Times[w] = best
+		}
+		lo, hi := workerCounts[0], workerCounts[len(workerCounts)-1]
+		if t := row.Times[hi]; t > 0 && hi > lo {
+			row.Efficiency = row.Times[lo] * float64(lo) / (t * float64(hi))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderScaling formats a scaling study as a table.
+func RenderScaling(rows []ScalingRow, workerCounts []int) string {
+	sort.Ints(workerCounts)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-34s", "Kernel")
+	for _, w := range workerCounts {
+		fmt.Fprintf(&b, " %10s", fmt.Sprintf("w=%d", w))
+	}
+	fmt.Fprintf(&b, " %10s\n", "efficiency")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-34s", r.Kernel)
+		for _, w := range workerCounts {
+			fmt.Fprintf(&b, " %9.3fms", r.Times[w]*1000)
+		}
+		fmt.Fprintf(&b, " %9.0f%%\n", r.Efficiency*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,220 @@
+// Package simmpi provides a small message-passing substrate that stands in
+// for MPI in the suite's Comm group kernels. Each simulated rank runs on
+// its own goroutine; ranks exchange tagged messages over channels with
+// point-to-point FIFO ordering, support nonblocking send/receive with
+// requests, and synchronize on barriers. A simple latency/bandwidth model
+// accumulates per-rank communication time so halo kernels can report their
+// communication share.
+package simmpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Message is one tagged payload between a pair of ranks.
+type Message struct {
+	Src, Tag int
+	Data     []float64
+}
+
+// Comm is a communicator over a fixed set of ranks.
+type Comm struct {
+	size    int
+	mail    []chan Message // one inbox per destination rank
+	barrier *barrier
+
+	// Modeled interconnect parameters.
+	LatencySec float64 // per-message latency
+	BWBytesSec float64 // per-link bandwidth
+}
+
+// NewComm creates a communicator with the given number of ranks. The
+// default interconnect model is a 1.5 us / 12 GB/s link, typical of the
+// node-local MPI the paper's Comm kernels exercise.
+func NewComm(size int) *Comm {
+	if size <= 0 {
+		panic("simmpi: communicator needs at least one rank")
+	}
+	c := &Comm{
+		size:       size,
+		mail:       make([]chan Message, size),
+		barrier:    newBarrier(size),
+		LatencySec: 1.5e-6,
+		BWBytesSec: 12e9,
+	}
+	for i := range c.mail {
+		c.mail[i] = make(chan Message, 4*size)
+	}
+	return c
+}
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.size }
+
+// Rank is the per-goroutine handle a rank uses to communicate.
+type Rank struct {
+	comm    *Comm
+	id      int
+	pending []Message // received but not yet matched
+	mu      sync.Mutex
+	commSec float64 // modeled communication time
+}
+
+// ID returns this rank's index in [0, Size).
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the communicator size.
+func (r *Rank) Size() int { return r.comm.size }
+
+// CommSeconds returns the modeled communication time this rank has
+// accumulated.
+func (r *Rank) CommSeconds() float64 { return r.commSec }
+
+// Send delivers data to rank dst with the given tag. The payload is copied
+// so the sender may reuse its buffer, matching MPI semantics.
+func (r *Rank) Send(dst, tag int, data []float64) {
+	if dst < 0 || dst >= r.comm.size {
+		panic(fmt.Sprintf("simmpi: send to invalid rank %d", dst))
+	}
+	buf := make([]float64, len(data))
+	copy(buf, data)
+	r.comm.mail[dst] <- Message{Src: r.id, Tag: tag, Data: buf}
+	r.commSec += r.comm.LatencySec + float64(len(data)*8)/r.comm.BWBytesSec
+}
+
+// AnySource matches a message from any sender in Recv.
+const AnySource = -1
+
+// match returns the next message matching (src, tag), draining the inbox
+// into the pending queue as needed. All matching happens under the rank's
+// lock so concurrent nonblocking receives never steal each other's
+// messages.
+func (r *Rank) match(src, tag int) Message {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		for i, m := range r.pending {
+			if (src == AnySource || m.Src == src) && m.Tag == tag {
+				r.pending = append(r.pending[:i], r.pending[i+1:]...)
+				return m
+			}
+		}
+		m, ok := <-r.comm.mail[r.id]
+		if !ok {
+			panic("simmpi: communicator closed while receiving")
+		}
+		r.pending = append(r.pending, m)
+	}
+}
+
+// Recv blocks until a message from src with the given tag arrives and
+// returns its payload. Messages from one sender arrive in send order.
+// Pass AnySource to match any sender.
+func (r *Rank) Recv(src, tag int) []float64 {
+	return r.match(src, tag).Data
+}
+
+// Request represents a nonblocking operation.
+type Request struct {
+	done <-chan []float64
+	data []float64
+}
+
+// Wait blocks until the operation completes and returns the received
+// payload (nil for sends).
+func (q *Request) Wait() []float64 {
+	if q.done == nil {
+		return q.data
+	}
+	return <-q.done
+}
+
+// Isend starts a nonblocking send. The implementation delivers eagerly, so
+// the returned request is already complete; Wait returns nil.
+func (r *Rank) Isend(dst, tag int, data []float64) *Request {
+	r.Send(dst, tag, data)
+	return &Request{}
+}
+
+// Irecv starts a nonblocking receive and returns a request whose Wait
+// yields the payload.
+func (r *Rank) Irecv(src, tag int) *Request {
+	ch := make(chan []float64, 1)
+	go func() {
+		ch <- r.match(src, tag).Data
+	}()
+	return &Request{done: ch}
+}
+
+// Barrier blocks until every rank has reached it.
+func (r *Rank) Barrier() { r.comm.barrier.await() }
+
+// AllreduceSum returns the sum of x across all ranks, delivered to every
+// rank.
+func (r *Rank) AllreduceSum(x float64) float64 {
+	const tag = -1000
+	if r.id == 0 {
+		total := x
+		for s := 1; s < r.comm.size; s++ {
+			// Accept contributions in any rank order.
+			total += r.Recv(AnySource, tag)[0]
+		}
+		for d := 1; d < r.comm.size; d++ {
+			r.Send(d, tag-1, []float64{total})
+		}
+		return total
+	}
+	r.Send(0, tag, []float64{x})
+	return r.Recv(0, tag-1)[0]
+}
+
+// Run executes f on every rank of a fresh communicator of the given size
+// and returns the communicator after all ranks finish (its per-rank comm
+// times remain queryable through the ranks slice it returns).
+func Run(size int, f func(r *Rank)) []*Rank {
+	c := NewComm(size)
+	ranks := make([]*Rank, size)
+	var wg sync.WaitGroup
+	for i := 0; i < size; i++ {
+		ranks[i] = &Rank{comm: c, id: i}
+		wg.Add(1)
+		go func(r *Rank) {
+			defer wg.Done()
+			f(r)
+		}(ranks[i])
+	}
+	wg.Wait()
+	return ranks
+}
+
+// barrier is a reusable N-party barrier.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	phase int
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	phase := b.phase
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.phase++
+		b.cond.Broadcast()
+		return
+	}
+	for phase == b.phase {
+		b.cond.Wait()
+	}
+}

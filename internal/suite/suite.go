@@ -1,0 +1,250 @@
+// Package suite drives the RAJA Performance Suite: it registers every
+// kernel group, executes kernels under a chosen variant and machine, and
+// produces one Caliper profile per run — the integration the paper
+// describes in Sec II-D. Kernel computations execute for real (checksums
+// are recorded); hardware timing and counters for the paper's four target
+// machines come from the TMA and GPU models, standing in for PAPI and
+// Nsight Compute.
+package suite
+
+import (
+	"fmt"
+	"time"
+
+	"rajaperf/internal/adiak"
+	"rajaperf/internal/caliper"
+	"rajaperf/internal/gpusim"
+	"rajaperf/internal/kernels"
+	"rajaperf/internal/machine"
+	"rajaperf/internal/tma"
+
+	// Register all kernel groups.
+	_ "rajaperf/internal/kernels/algorithms"
+	_ "rajaperf/internal/kernels/apps"
+	_ "rajaperf/internal/kernels/basic"
+	_ "rajaperf/internal/kernels/comm"
+	_ "rajaperf/internal/kernels/lcals"
+	_ "rajaperf/internal/kernels/polybench"
+	_ "rajaperf/internal/kernels/stream"
+)
+
+// DefaultSizePerNode is the node problem size used when Config.SizePerNode
+// is zero — the paper's 32M (Table III). Model-only runs are cheap at this
+// size; pass a smaller size when executing real computations in tests.
+const DefaultSizePerNode = 32_000_000
+
+// Config selects what to run and on which (modeled) machine.
+type Config struct {
+	Machine     *machine.Machine
+	Variant     kernels.VariantID
+	GPUBlock    int      // GPU tuning (0 = default block size)
+	SizePerNode int      // total problem size per node (0 = default)
+	Reps        int      // kernel repetitions (0 = kernel default)
+	Workers     int      // execution workers (0 = all cores)
+	Kernels     []string // full names; empty = whole suite
+	Execute     bool     // run the real computation (checksums); models run either way
+}
+
+// DefaultVariant returns the variant Table III assigns to a machine:
+// RAJA_Seq per-core ranks on the CPU systems, RAJA GPU back-ends on the
+// accelerated systems.
+func DefaultVariant(m *machine.Machine) kernels.VariantID {
+	if m.Kind == machine.GPU {
+		return kernels.RAJAGPU
+	}
+	return kernels.RAJASeq
+}
+
+// Run executes (and models) the configured kernels and returns the run's
+// Caliper profile. Kernels that do not implement the requested variant are
+// skipped, mirroring Table I's sparsity; the profile metadata records how
+// many.
+func Run(cfg Config) (*caliper.Profile, error) {
+	if cfg.Machine == nil {
+		return nil, fmt.Errorf("suite: config needs a machine")
+	}
+	sizeNode := cfg.SizePerNode
+	if sizeNode <= 0 {
+		sizeNode = DefaultSizePerNode
+	}
+	ranks := cfg.Machine.Ranks
+	if ranks <= 0 {
+		ranks = 1
+	}
+	perRank := sizeNode / ranks
+	if perRank < 1 {
+		perRank = 1
+	}
+
+	names := cfg.Kernels
+	if len(names) == 0 {
+		names = kernels.Names()
+	}
+
+	rec := caliper.NewRecorder()
+	for mk, mv := range adiak.Collect() {
+		rec.AddMetadata(mk, mv)
+	}
+	rec.AddMetadata("machine", cfg.Machine.Shorthand)
+	rec.AddMetadata("variant", cfg.Variant.String())
+	rec.AddMetadata("tuning", tuningName(cfg))
+	rec.AddMetadata("ranks", ranks)
+	rec.AddMetadata("size_per_node", sizeNode)
+	rec.AddMetadata("size_per_rank", perRank)
+
+	var cpuModel *tma.Model
+	var gpuDev *gpusim.Device
+	var err error
+	switch cfg.Machine.Kind {
+	case machine.CPU:
+		if cpuModel, err = tma.NewModel(cfg.Machine); err != nil {
+			return nil, err
+		}
+	case machine.GPU:
+		if gpuDev, err = gpusim.NewDevice(cfg.Machine); err != nil {
+			return nil, err
+		}
+	}
+
+	if !cfg.Execute {
+		// Metrics-only setup: kernels compute analytic metrics and
+		// instruction mixes without allocating their data.
+		kernels.SetModelOnly(true)
+		defer kernels.SetModelOnly(false)
+	}
+
+	skipped := 0
+	rec.Begin("suite")
+	for _, name := range names {
+		k, err := kernels.New(name)
+		if err != nil {
+			return nil, err
+		}
+		if !k.Info().HasVariant(cfg.Variant) {
+			skipped++
+			continue
+		}
+		rp := kernels.RunParams{
+			Size:     perRank,
+			Reps:     cfg.Reps,
+			Workers:  cfg.Workers,
+			GPUBlock: cfg.GPUBlock,
+			Ranks:    minInt(ranks, 8),
+		}
+		if err := runKernel(rec, k, rp, cfg, cpuModel, gpuDev, sizeNode, ranks); err != nil {
+			return nil, err
+		}
+	}
+	if err := rec.End("suite"); err != nil {
+		return nil, err
+	}
+	rec.AddMetadata("kernels_skipped", skipped)
+	rec.AddMetadata("kernels_run", len(names)-skipped)
+	return rec.Profile(), nil
+}
+
+func tuningName(cfg Config) string {
+	if cfg.Variant.IsGPU() {
+		b := cfg.GPUBlock
+		if b <= 0 {
+			b = 256
+		}
+		return fmt.Sprintf("block_%d", b)
+	}
+	return "default"
+}
+
+func runKernel(rec *caliper.Recorder, k kernels.Kernel, rp kernels.RunParams,
+	cfg Config, cpuModel *tma.Model, gpuDev *gpusim.Device, sizeNode, ranks int) error {
+
+	name := k.Info().FullName()
+	k.SetUp(rp)
+	defer k.TearDown()
+
+	// The Caliper region carries the annotation structure and measured
+	// wall time; modeled metrics are attached to the node after the
+	// region closes so End's wall-clock accumulation cannot contaminate
+	// the modeled "time" value.
+	path := []string{"suite", name}
+	rec.Begin(name)
+	var runErr error
+	if cfg.Execute {
+		start := time.Now()
+		if err := k.Run(cfg.Variant, rp); err != nil {
+			runErr = fmt.Errorf("suite: %s: %w", name, err)
+		} else {
+			rec.SetMetric("wall_time", time.Since(start).Seconds())
+			rec.SetMetric("checksum", k.Checksum())
+		}
+	}
+	if err := rec.End(name); err != nil {
+		return err
+	}
+	if runErr != nil {
+		return runErr
+	}
+
+	// Analytic metrics (Sec II-B), scaled to node totals per rep.
+	am := k.Metrics()
+	scale := float64(ranks)
+	nodeAM := kernels.AnalyticMetrics{
+		BytesRead:    am.BytesRead * scale,
+		BytesWritten: am.BytesWritten * scale,
+		Flops:        am.Flops * scale,
+	}
+	rec.SetMetricAt(path, "Bytes/Rep Read", nodeAM.BytesRead)
+	rec.SetMetricAt(path, "Bytes/Rep Written", nodeAM.BytesWritten)
+	rec.SetMetricAt(path, "Flops/Rep", nodeAM.Flops)
+	rec.SetMetricAt(path, "FlopsPerByte", nodeAM.FlopsPerByte())
+	rec.SetMetricAt(path, "ProblemSize", float64(sizeNode))
+
+	// Hardware model metrics, scaled by the kernel's true inner work
+	// (matrix kernels perform more operations than their storage size).
+	mix := k.Mix()
+	nodeIters := int(kernels.WorkItems(nodeAM, mix))
+	if nodeIters < 1 {
+		nodeIters = sizeNode
+	}
+	var modelTime float64
+	switch {
+	case cpuModel != nil:
+		res := cpuModel.Analyze(mix, nodeAM, nodeIters)
+		modelTime = res.SecondsPerRep
+		rec.SetMetricAt(path, "time", modelTime)
+		rec.SetMetricAt(path, "frontend_bound", res.Metrics.FrontendBound)
+		rec.SetMetricAt(path, "bad_speculation", res.Metrics.BadSpeculation)
+		rec.SetMetricAt(path, "retiring", res.Metrics.Retiring)
+		rec.SetMetricAt(path, "core_bound", res.Metrics.CoreBound)
+		rec.SetMetricAt(path, "memory_bound", res.Metrics.MemoryBound)
+		rec.SetMetricAt(path, "backend_bound", res.Metrics.BackendBound())
+		for c, v := range res.Counters {
+			rec.SetMetricAt(path, c, v)
+		}
+	case gpuDev != nil:
+		block := cfg.GPUBlock
+		if block <= 0 {
+			block = 256
+		}
+		res := gpuDev.Run(mix, gpusim.Launch{Items: nodeIters, BlockSize: block})
+		modelTime = res.SecondsPerRep
+		rec.SetMetricAt(path, "time", modelTime)
+		rec.SetMetricAt(path, "occupancy", res.Occupancy)
+		for c, v := range res.Counters.Map() {
+			rec.SetMetricAt(path, c, v)
+		}
+	}
+
+	// Derived achieved rates (Fig 10 axes).
+	if modelTime > 0 {
+		rec.SetMetricAt(path, "GB/s", (nodeAM.BytesRead+nodeAM.BytesWritten)/modelTime/1e9)
+		rec.SetMetricAt(path, "GFLOPS", nodeAM.Flops/modelTime/1e9)
+	}
+	return nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

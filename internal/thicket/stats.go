@@ -1,0 +1,94 @@
+package thicket
+
+import (
+	"math"
+	"sort"
+)
+
+// Stats summarizes one metric for one node across profiles — a row of the
+// Thicket aggregated-statistics component.
+type Stats struct {
+	Node   string
+	Metric string
+	Count  int
+	Mean   float64
+	Median float64
+	Std    float64
+	Min    float64
+	Max    float64
+}
+
+// AggregateStats computes per-node summary statistics of a metric across
+// all composed profiles.
+func (t *Thicket) AggregateStats(metric string) []Stats {
+	byNode := map[string][]float64{}
+	for _, r := range t.rows {
+		if v, ok := r.Metrics[metric]; ok {
+			byNode[r.Node] = append(byNode[r.Node], v)
+		}
+	}
+	nodes := make([]string, 0, len(byNode))
+	for n := range byNode {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	out := make([]Stats, 0, len(nodes))
+	for _, n := range nodes {
+		out = append(out, summarize(n, metric, byNode[n]))
+	}
+	return out
+}
+
+func summarize(node, metric string, xs []float64) Stats {
+	s := Stats{Node: node, Metric: metric, Count: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	if n := len(sorted); n%2 == 1 {
+		s.Median = sorted[n/2]
+	} else {
+		s.Median = 0.5 * (sorted[n/2-1] + sorted[n/2])
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	s.Mean = sum / float64(len(xs))
+	varsum := 0.0
+	for _, x := range xs {
+		d := x - s.Mean
+		varsum += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(varsum / float64(len(xs)-1))
+	}
+	return s
+}
+
+// SpeedupTable computes, per node, baselineMetric/otherMetric between two
+// Thickets (e.g. modeled time on SPR-DDR vs another machine) — the
+// derivation behind the paper's Fig 7-9 speedup columns. Nodes missing in
+// either Thicket are skipped.
+func SpeedupTable(baseline, other *Thicket, metric string) map[string]float64 {
+	base := map[string]float64{}
+	for _, r := range baseline.rows {
+		if v, ok := r.Metrics[metric]; ok && v > 0 {
+			base[r.Node] = v
+		}
+	}
+	out := map[string]float64{}
+	for _, r := range other.rows {
+		b, ok := base[r.Node]
+		if !ok {
+			continue
+		}
+		if v, okv := r.Metrics[metric]; okv && v > 0 {
+			out[r.Node] = b / v
+		}
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+// Package thicket is a Go analog of LLNL Thicket (Brink et al., HPDC
+// 2023): exploratory data analysis over multi-run performance experiments.
+// A Thicket composes many Caliper profiles into three linked components —
+// a performance DataFrame indexed by (node, profile) holding one column
+// per metric, a metadata table with one row per profile, and an aggregated
+// statistics frame — and provides the composition operations the paper
+// uses: Concat, Filter, GroupBy over metadata, and per-node aggregation.
+package thicket
+
+import (
+	"fmt"
+	"sort"
+
+	"rajaperf/internal/caliper"
+)
+
+// ProfileID identifies one run within a Thicket.
+type ProfileID int
+
+// Row is one (node, profile) row of the performance DataFrame.
+type Row struct {
+	Node    string // call-tree node name (kernel name)
+	Path    []string
+	Profile ProfileID
+	Metrics map[string]float64
+}
+
+// Thicket composes multiple performance profiles.
+type Thicket struct {
+	rows     []Row
+	metadata []map[string]any // indexed by ProfileID
+}
+
+// FromProfiles builds a Thicket from in-memory Caliper profiles.
+func FromProfiles(ps []*caliper.Profile) *Thicket {
+	t := &Thicket{}
+	for _, p := range ps {
+		t.append(p)
+	}
+	return t
+}
+
+// FromDir reads every profile file under dir into a Thicket.
+func FromDir(dir string) (*Thicket, error) {
+	ps, err := caliper.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("thicket: %w", err)
+	}
+	if len(ps) == 0 {
+		return nil, fmt.Errorf("thicket: no profiles found in %s", dir)
+	}
+	return FromProfiles(ps), nil
+}
+
+func (t *Thicket) append(p *caliper.Profile) {
+	id := ProfileID(len(t.metadata))
+	md := make(map[string]any, len(p.Metadata))
+	for k, v := range p.Metadata {
+		md[k] = v
+	}
+	t.metadata = append(t.metadata, md)
+	for _, r := range p.Records {
+		m := make(map[string]float64, len(r.Metrics))
+		for k, v := range r.Metrics {
+			m[k] = v
+		}
+		t.rows = append(t.rows, Row{
+			Node:    r.Node(),
+			Path:    append([]string(nil), r.Path...),
+			Profile: id,
+			Metrics: m,
+		})
+	}
+}
+
+// NumProfiles returns the number of composed runs.
+func (t *Thicket) NumProfiles() int { return len(t.metadata) }
+
+// NumRows returns the DataFrame row count.
+func (t *Thicket) NumRows() int { return len(t.rows) }
+
+// Rows returns the DataFrame rows (shared storage; treat as read-only).
+func (t *Thicket) Rows() []Row { return t.rows }
+
+// Metadata returns the metadata of one profile.
+func (t *Thicket) Metadata(id ProfileID) map[string]any {
+	if int(id) < 0 || int(id) >= len(t.metadata) {
+		return nil
+	}
+	return t.metadata[id]
+}
+
+// MetadataColumn returns the value of key for every profile, as strings.
+func (t *Thicket) MetadataColumn(key string) []string {
+	out := make([]string, len(t.metadata))
+	for i, md := range t.metadata {
+		out[i] = fmt.Sprint(md[key])
+	}
+	return out
+}
+
+// Nodes returns the distinct node names, sorted.
+func (t *Thicket) Nodes() []string {
+	set := map[string]bool{}
+	for _, r := range t.rows {
+		set[r.Node] = true
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MetricNames returns the union of metric column names, sorted.
+func (t *Thicket) MetricNames() []string {
+	set := map[string]bool{}
+	for _, r := range t.rows {
+		for m := range r.Metrics {
+			set[m] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Concat composes several Thickets into one, renumbering profiles, the
+// paper's cross-run composition step.
+func Concat(ts ...*Thicket) *Thicket {
+	out := &Thicket{}
+	for _, t := range ts {
+		base := ProfileID(len(out.metadata))
+		out.metadata = append(out.metadata, t.metadata...)
+		for _, r := range t.rows {
+			r2 := r
+			r2.Profile += base
+			out.rows = append(out.rows, r2)
+		}
+	}
+	return out
+}
+
+// Filter returns a Thicket containing only rows whose profile metadata
+// satisfies pred. Metadata of all profiles is retained (IDs are stable).
+func (t *Thicket) Filter(pred func(md map[string]any) bool) *Thicket {
+	out := &Thicket{metadata: t.metadata}
+	for _, r := range t.rows {
+		if pred(t.metadata[r.Profile]) {
+			out.rows = append(out.rows, r)
+		}
+	}
+	return out
+}
+
+// FilterNodes returns a Thicket with only rows whose node satisfies pred.
+func (t *Thicket) FilterNodes(pred func(node string) bool) *Thicket {
+	out := &Thicket{metadata: t.metadata}
+	for _, r := range t.rows {
+		if pred(r.Node) {
+			out.rows = append(out.rows, r)
+		}
+	}
+	return out
+}
+
+// GroupBy partitions the Thicket by the string value of a metadata key,
+// returning sub-Thickets keyed by that value.
+func (t *Thicket) GroupBy(key string) map[string]*Thicket {
+	out := map[string]*Thicket{}
+	for _, r := range t.rows {
+		k := fmt.Sprint(t.metadata[r.Profile][key])
+		sub, ok := out[k]
+		if !ok {
+			sub = &Thicket{metadata: t.metadata}
+			out[k] = sub
+		}
+		sub.rows = append(sub.rows, r)
+	}
+	return out
+}
+
+// Metric returns the metric value at (node, profile), with ok reporting
+// presence.
+func (t *Thicket) Metric(node string, id ProfileID, metric string) (float64, bool) {
+	for _, r := range t.rows {
+		if r.Node == node && r.Profile == id {
+			v, ok := r.Metrics[metric]
+			return v, ok
+		}
+	}
+	return 0, false
+}
+
+// NodeVector collects one metric across a list of metric names for a node
+// from the first profile that has the node — the per-kernel feature tuple
+// used for clustering.
+func (t *Thicket) NodeVector(node string, metrics []string) ([]float64, bool) {
+	for _, r := range t.rows {
+		if r.Node != node {
+			continue
+		}
+		out := make([]float64, len(metrics))
+		all := true
+		for i, m := range metrics {
+			v, ok := r.Metrics[m]
+			if !ok {
+				all = false
+				break
+			}
+			out[i] = v
+		}
+		if all {
+			return out, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,184 @@
+package thicket
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rajaperf/internal/caliper"
+)
+
+// makeProfile builds a profile with one kernel node carrying the given
+// time, tagged with variant metadata.
+func makeProfile(variant, machine string, kernels map[string]float64) *caliper.Profile {
+	c := caliper.NewRecorder()
+	c.AddMetadata("variant", variant)
+	c.AddMetadata("machine", machine)
+	for name, tv := range kernels {
+		c.SetMetricAt([]string{"suite", name}, "time", tv)
+		c.SetMetricAt([]string{"suite", name}, "Flops", 100)
+	}
+	return c.Profile()
+}
+
+func TestComposeAndQuery(t *testing.T) {
+	p1 := makeProfile("RAJA_Seq", "SPR-DDR", map[string]float64{"TRIAD": 2.0, "DOT": 3.0})
+	p2 := makeProfile("RAJA_CUDA", "P9-V100", map[string]float64{"TRIAD": 0.5, "DOT": 1.0})
+	tk := FromProfiles([]*caliper.Profile{p1, p2})
+	if tk.NumProfiles() != 2 {
+		t.Fatalf("NumProfiles = %d", tk.NumProfiles())
+	}
+	if got := tk.Nodes(); len(got) != 2 || got[0] != "DOT" || got[1] != "TRIAD" {
+		t.Fatalf("Nodes = %v", got)
+	}
+	v, ok := tk.Metric("TRIAD", 1, "time")
+	if !ok || v != 0.5 {
+		t.Errorf("Metric(TRIAD, 1, time) = %v, %v", v, ok)
+	}
+	if _, ok := tk.Metric("MISSING", 0, "time"); ok {
+		t.Error("missing node should report !ok")
+	}
+	names := tk.MetricNames()
+	if len(names) != 2 || names[0] != "Flops" || names[1] != "time" {
+		t.Errorf("MetricNames = %v", names)
+	}
+}
+
+func TestGroupByAndFilter(t *testing.T) {
+	tk := FromProfiles([]*caliper.Profile{
+		makeProfile("RAJA_Seq", "SPR-DDR", map[string]float64{"A": 1}),
+		makeProfile("RAJA_Seq", "SPR-HBM", map[string]float64{"A": 2}),
+		makeProfile("RAJA_CUDA", "P9-V100", map[string]float64{"A": 3}),
+	})
+	groups := tk.GroupBy("variant")
+	if len(groups) != 2 {
+		t.Fatalf("GroupBy produced %d groups, want 2", len(groups))
+	}
+	if groups["RAJA_Seq"].NumRows() != 2 {
+		t.Errorf("RAJA_Seq group has %d rows, want 2", groups["RAJA_Seq"].NumRows())
+	}
+	f := tk.Filter(func(md map[string]any) bool { return md["machine"] == "SPR-HBM" })
+	if f.NumRows() != 1 {
+		t.Errorf("Filter kept %d rows, want 1", f.NumRows())
+	}
+	fn := tk.FilterNodes(func(n string) bool { return n == "A" })
+	if fn.NumRows() != 3 {
+		t.Errorf("FilterNodes kept %d rows, want 3", fn.NumRows())
+	}
+}
+
+func TestConcatRenumbersProfiles(t *testing.T) {
+	t1 := FromProfiles([]*caliper.Profile{makeProfile("a", "m", map[string]float64{"K": 1})})
+	t2 := FromProfiles([]*caliper.Profile{makeProfile("b", "m", map[string]float64{"K": 2})})
+	c := Concat(t1, t2)
+	if c.NumProfiles() != 2 {
+		t.Fatalf("NumProfiles = %d", c.NumProfiles())
+	}
+	if v, ok := c.Metric("K", 1, "time"); !ok || v != 2 {
+		t.Errorf("profile renumbering broken: %v %v", v, ok)
+	}
+	col := c.MetadataColumn("variant")
+	if col[0] != "a" || col[1] != "b" {
+		t.Errorf("MetadataColumn = %v", col)
+	}
+}
+
+func TestAggregateStats(t *testing.T) {
+	tk := FromProfiles([]*caliper.Profile{
+		makeProfile("v", "m1", map[string]float64{"K": 2}),
+		makeProfile("v", "m2", map[string]float64{"K": 4}),
+		makeProfile("v", "m3", map[string]float64{"K": 6}),
+	})
+	stats := tk.AggregateStats("time")
+	var ks *Stats
+	for i := range stats {
+		if stats[i].Node == "K" {
+			ks = &stats[i]
+		}
+	}
+	if ks == nil {
+		t.Fatal("no stats for node K")
+	}
+	if ks.Count != 3 || ks.Mean != 4 || ks.Median != 4 || ks.Min != 2 || ks.Max != 6 {
+		t.Errorf("stats = %+v", ks)
+	}
+	if math.Abs(ks.Std-2) > 1e-12 {
+		t.Errorf("std = %v, want 2", ks.Std)
+	}
+}
+
+func TestSpeedupTable(t *testing.T) {
+	base := FromProfiles([]*caliper.Profile{
+		makeProfile("v", "SPR-DDR", map[string]float64{"A": 10, "B": 4}),
+	})
+	fast := FromProfiles([]*caliper.Profile{
+		makeProfile("v", "MI250X", map[string]float64{"A": 1, "B": 8}),
+	})
+	sp := SpeedupTable(base, fast, "time")
+	if sp["A"] != 10 {
+		t.Errorf("speedup A = %v, want 10", sp["A"])
+	}
+	if sp["B"] != 0.5 {
+		t.Errorf("speedup B = %v, want 0.5", sp["B"])
+	}
+}
+
+func TestNodeVector(t *testing.T) {
+	p := makeProfile("v", "m", map[string]float64{"K": 1})
+	tk := FromProfiles([]*caliper.Profile{p})
+	vec, ok := tk.NodeVector("K", []string{"time", "Flops"})
+	if !ok || len(vec) != 2 || vec[0] != 1 || vec[1] != 100 {
+		t.Errorf("NodeVector = %v, %v", vec, ok)
+	}
+	if _, ok := tk.NodeVector("K", []string{"missing_metric"}); ok {
+		t.Error("NodeVector must fail for missing metrics")
+	}
+}
+
+func TestFromDirRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	p := makeProfile("RAJA_Seq", "SPR-DDR", map[string]float64{"K": 1})
+	if err := p.WriteFile(filepath.Join(dir, "run0"+caliper.FileExt)); err != nil {
+		t.Fatal(err)
+	}
+	tk, err := FromDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tk.NumProfiles() != 1 {
+		t.Errorf("NumProfiles = %d", tk.NumProfiles())
+	}
+	if _, err := FromDir(t.TempDir()); err == nil {
+		t.Error("empty dir must error")
+	}
+}
+
+func TestTreeRendering(t *testing.T) {
+	c := caliper.NewRecorder()
+	c.AddMetadata("variant", "RAJA_Seq")
+	c.Begin("suite")
+	c.Region("Stream_TRIAD", func() {})
+	c.Region("Basic_DAXPY", func() {})
+	c.End("suite") //nolint:errcheck
+	c.SetMetricAt([]string{"suite", "Stream_TRIAD"}, "time", 2.5)
+	c.SetMetricAt([]string{"suite", "Basic_DAXPY"}, "time", 9.0)
+	tk := FromProfiles([]*caliper.Profile{c.Profile()})
+
+	out := tk.Tree(0, "time")
+	if !strings.Contains(out, "suite") ||
+		!strings.Contains(out, "Stream_TRIAD") ||
+		!strings.Contains(out, "Basic_DAXPY") {
+		t.Fatalf("tree missing nodes:\n%s", out)
+	}
+	// Hot path first: DAXPY (9.0) before TRIAD (2.5).
+	if strings.Index(out, "Basic_DAXPY") > strings.Index(out, "Stream_TRIAD") {
+		t.Errorf("tree not sorted by metric:\n%s", out)
+	}
+	// Indentation: kernels are children of suite.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "Stream_TRIAD") && !strings.Contains(line, "  Stream_TRIAD") {
+			t.Errorf("kernel not indented under suite: %q", line)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package thicket
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tree renders one profile's call tree with a metric annotated per node —
+// the Hatchet/Thicket tree view. Nodes are indented by call depth and
+// siblings sort by descending metric value so hot paths lead.
+func (t *Thicket) Tree(id ProfileID, metric string) string {
+	type node struct {
+		name     string
+		value    float64
+		has      bool
+		children map[string]*node
+	}
+	root := &node{children: map[string]*node{}}
+	for _, r := range t.rows {
+		if r.Profile != id {
+			continue
+		}
+		cur := root
+		for _, seg := range r.Path {
+			child, ok := cur.children[seg]
+			if !ok {
+				child = &node{name: seg, children: map[string]*node{}}
+				cur.children[seg] = child
+			}
+			cur = child
+		}
+		if v, ok := r.Metrics[metric]; ok {
+			cur.value, cur.has = v, true
+		}
+	}
+
+	var b strings.Builder
+	var render func(n *node, depth int)
+	render = func(n *node, depth int) {
+		if depth >= 0 {
+			val := "        -"
+			if n.has {
+				val = fmt.Sprintf("%9.4g", n.value)
+			}
+			fmt.Fprintf(&b, "%s %s%s\n", val, strings.Repeat("  ", depth), n.name)
+		}
+		kids := make([]*node, 0, len(n.children))
+		for _, c := range n.children {
+			kids = append(kids, c)
+		}
+		sort.Slice(kids, func(i, j int) bool {
+			if kids[i].value != kids[j].value {
+				return kids[i].value > kids[j].value
+			}
+			return kids[i].name < kids[j].name
+		})
+		for _, c := range kids {
+			render(c, depth+1)
+		}
+	}
+	fmt.Fprintf(&b, "%9s  node (profile %d)\n", metric, id)
+	render(root, -1)
+	return b.String()
+}
