@@ -20,6 +20,7 @@ import (
 	"rajaperf/internal/caliper"
 	"rajaperf/internal/kernels"
 	"rajaperf/internal/machine"
+	"rajaperf/internal/raja"
 	"rajaperf/internal/report"
 	"rajaperf/internal/suite"
 )
@@ -32,6 +33,7 @@ func main() {
 		size     = flag.Int("size", 0, "problem size per node (0 = 32M)")
 		reps     = flag.Int("reps", 0, "kernel repetitions (0 = kernel defaults)")
 		workers  = flag.Int("workers", 0, "execution workers (0 = all cores)")
+		schedule = flag.String("schedule", "default", "parallel loop schedule: default, static, dynamic, guided")
 		kerns    = flag.String("kernels", "", "comma-separated kernel names (empty = whole suite)")
 		group    = flag.String("group", "", "run only one group (Algorithm, Apps, Basic, Comm, Lcals, Polybench, Stream)")
 		feature  = flag.String("feature", "", "run only kernels exercising a RAJA feature (Sort, Scan, Reduction, Atomic, View, Workgroup, MPI)")
@@ -43,6 +45,17 @@ func main() {
 	)
 	flag.Parse()
 
+	// Every parallel region of the process — suite runs, reports, and
+	// scaling studies alike — dispatches through the shared persistent
+	// worker pool; release its workers on the way out.
+	defer raja.Default().Close()
+
+	sched, ok := raja.ParseSchedule(*schedule)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "rajaperf: unknown schedule %q\n", *schedule)
+		os.Exit(2)
+	}
+
 	if *list {
 		for _, n := range kernels.Names() {
 			fmt.Println(n)
@@ -50,7 +63,7 @@ func main() {
 		return
 	}
 	if *doReport {
-		if err := runReport(*kerns, *size, *reps, *workers); err != nil {
+		if err := runReport(*kerns, *size, *reps, *workers, sched); err != nil {
 			fmt.Fprintln(os.Stderr, "rajaperf:", err)
 			os.Exit(1)
 		}
@@ -66,7 +79,7 @@ func main() {
 			sz = 400_000
 		}
 		counts := []int{1, 2, 4, 8}
-		rows, err := report.ScalingStudy(names, counts, sz, *reps)
+		rows, err := report.ScalingStudy(names, counts, sz, *reps, sched)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rajaperf:", err)
 			os.Exit(1)
@@ -76,15 +89,15 @@ func main() {
 	}
 
 	if err := run(*machName, *variant, *block, *size, *reps, *workers,
-		*kerns, *group, *feature, *execute, *outdir); err != nil {
+		sched, *kerns, *group, *feature, *execute, *outdir); err != nil {
 		fmt.Fprintln(os.Stderr, "rajaperf:", err)
 		os.Exit(1)
 	}
 }
 
 // runReport executes the classic timing/checksum reports on the host.
-func runReport(kerns string, size, reps, workers int) error {
-	cfg := report.Config{Size: size, Reps: reps, Workers: workers}
+func runReport(kerns string, size, reps, workers int, sched raja.Schedule) error {
+	cfg := report.Config{Size: size, Reps: reps, Workers: workers, Schedule: sched}
 	if size == 0 {
 		cfg.Size = 100_000 // host-friendly default for real execution
 	}
@@ -106,7 +119,7 @@ func runReport(kerns string, size, reps, workers int) error {
 }
 
 func run(machName, variant string, block, size, reps, workers int,
-	kerns, group, feature string, execute bool, outdir string) error {
+	sched raja.Schedule, kerns, group, feature string, execute bool, outdir string) error {
 
 	m, err := machine.ByName(machName)
 	if err != nil {
@@ -163,6 +176,7 @@ func run(machName, variant string, block, size, reps, workers int,
 		Workers:     workers,
 		Kernels:     names,
 		Execute:     execute,
+		Schedule:    sched,
 	})
 	if err != nil {
 		return err

@@ -13,6 +13,11 @@ import "rajaperf/internal/raja"
 //   - RAJA variants dispatch `rajaBody` through the portability layer
 //     under the policy implied by v and rp.
 //
+// Both the hand-written skeletons and the RAJA policies execute on the
+// run's persistent worker pool (rp.Pool, defaulting to raja.Default), so
+// all reps of a run reuse one set of parked workers and the Base-vs-RAJA
+// gap isolates abstraction overhead rather than goroutine-creation noise.
+//
 // Kernels whose body is a plain elementwise loop build their Run method
 // from one RunVariant call per rep; kernels with reductions, scans, or
 // communication write their own dispatch.
@@ -26,15 +31,15 @@ func RunVariant(v VariantID, rp RunParams, n int,
 			lambda(i)
 		}
 	case BaseOpenMP:
-		ParChunks(rp.Workers, n, base)
+		rp.ExecPool().StaticChunks(rp.Workers, n, func(_, lo, hi int) { base(lo, hi) })
 	case LambdaOpenMP:
-		ParChunks(rp.Workers, n, func(lo, hi int) {
+		rp.ExecPool().StaticChunks(rp.Workers, n, func(_, lo, hi int) {
 			for i := lo; i < hi; i++ {
 				lambda(i)
 			}
 		})
 	case BaseGPU:
-		GPUBlocks(rp.Workers, rp.GPUBlock, n, base)
+		rp.ExecPool().DynamicBlocks(rp.Workers, rp.GPUBlock, n, base)
 	case RAJASeq, RAJAOpenMP, RAJAGPU:
 		raja.Forall(rp.Policy(v), n, rajaBody)
 	default:

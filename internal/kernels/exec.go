@@ -1,118 +1,36 @@
 package kernels
 
-import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-)
+import "rajaperf/internal/raja"
+
+// The Base-variant skeletons below are the hand-written counterparts of
+// the raja portability layer's dispatch: they express the same fork-join
+// and block-scheduled shapes without going through Policy/Forall. They
+// execute on the shared persistent worker pool (raja.Default), so Base
+// and RAJA variants pay the same scheduling cost and the timing gap
+// between them isolates the abstraction overhead — the closure-per-index
+// and policy-dispatch cost — rather than goroutine-creation noise. When
+// the pool is busy (nested or concurrent parallel regions) or closed,
+// the skeletons fall back to spawning goroutines.
 
 // ParChunks executes f over one contiguous chunk of [0, n) per worker,
 // the hand-written fork-join skeleton Base_OpenMP variants use. Workers
 // of zero means all cores.
 func ParChunks(workers, n int, f func(lo, hi int)) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		f(0, n)
-		return
-	}
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			f(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	raja.Default().StaticChunks(workers, n, func(_, lo, hi int) { f(lo, hi) })
 }
 
 // ParChunksIdx is ParChunks with a dense worker index passed to f, for
-// Base_OpenMP variants that keep per-worker partial results.
+// Base_OpenMP variants that keep per-worker partial results. It returns
+// the number of chunks dispatched.
 func ParChunksIdx(workers, n int, f func(w, lo, hi int)) int {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		f(0, 0, n)
-		return 1
-	}
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	used := 0
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		used++
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			f(w, lo, hi)
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	return used
+	return raja.Default().StaticChunks(workers, n, f)
 }
 
 // GPUBlocks executes f over fixed-size blocks of [0, n) scheduled
 // dynamically across workers, the hand-written skeleton Base_GPU variants
-// use. Block of zero means 256.
+// use. Block of zero means raja.DefaultBlock. The single-worker path
+// walks the range block by block, so f observes the same block-granular
+// call pattern at every worker count.
 func GPUBlocks(workers, block, n int, f func(lo, hi int)) {
-	if block <= 0 {
-		block = 256
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	blocks := (n + block - 1) / block
-	if workers > blocks {
-		workers = blocks
-	}
-	if workers <= 1 {
-		f(0, n)
-		return
-	}
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				b := int(cursor.Add(1) - 1)
-				if b >= blocks {
-					return
-				}
-				lo := b * block
-				hi := lo + block
-				if hi > n {
-					hi = n
-				}
-				f(lo, hi)
-			}
-		}()
-	}
-	wg.Wait()
+	raja.Default().DynamicBlocks(workers, block, n, f)
 }

@@ -314,6 +314,22 @@ type RunParams struct {
 	Workers  int // parallel workers for OpenMP back-end (0 = all cores)
 	GPUBlock int // block size for GPU back-end (0 = raja.DefaultBlock)
 	Ranks    int // simulated MPI ranks for Comm kernels (0 = 4)
+
+	// Schedule selects the parallel loop schedule (static/dynamic/guided)
+	// for the OpenMP and GPU back-ends. Zero means the back-end default.
+	Schedule raja.Schedule
+	// Pool is the persistent executor all reps of the run dispatch
+	// through. Nil means the shared raja.Default() pool, so a whole
+	// suite run reuses one set of parked workers.
+	Pool *raja.Pool
+}
+
+// ExecPool resolves the executor pool for this run.
+func (rp RunParams) ExecPool() *raja.Pool {
+	if rp.Pool != nil {
+		return rp.Pool
+	}
+	return raja.Default()
 }
 
 // EffectiveSize resolves the problem size against the kernel's default.
@@ -345,9 +361,11 @@ func (rp RunParams) EffectiveRanks() int {
 func (rp RunParams) Policy(v VariantID) raja.Policy {
 	switch {
 	case v.IsOpenMP():
-		return raja.ParPolicy(rp.Workers)
+		return raja.Policy{Kind: raja.Par, Workers: rp.Workers,
+			Schedule: rp.Schedule, Pool: rp.Pool}
 	case v.IsGPU():
-		return raja.Policy{Kind: raja.GPU, Workers: rp.Workers, Block: rp.GPUBlock}
+		return raja.Policy{Kind: raja.GPU, Workers: rp.Workers, Block: rp.GPUBlock,
+			Schedule: rp.Schedule, Pool: rp.Pool}
 	default:
 		return raja.SeqPolicy()
 	}

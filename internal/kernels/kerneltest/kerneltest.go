@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"rajaperf/internal/kernels"
+	"rajaperf/internal/raja"
 )
 
 // Params returns the small, fast run parameters conformance tests use.
@@ -30,6 +31,9 @@ func CheckKernel(t *testing.T, fullName string) {
 		checkMetrics(t, k)
 		checkUnsupportedVariants(t, k)
 		checkGPUTunings(t, fullName)
+		checkDeterminism(t, fullName)
+		checkEdgeParams(t, fullName)
+		checkSchedules(t, fullName)
 	})
 }
 
@@ -106,6 +110,125 @@ func checkVariantsAgree(t *testing.T, fullName string) {
 			t.Errorf("%s checksum %v != Base_Seq %v", v, got, want)
 		}
 		k.TearDown()
+	}
+}
+
+// runOnce runs one variant on a fresh kernel instance and returns its
+// checksum.
+func runOnce(t *testing.T, fullName string, v kernels.VariantID, rp kernels.RunParams) (float64, bool) {
+	t.Helper()
+	k, err := kernels.New(fullName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer k.TearDown()
+	k.SetUp(rp)
+	if err := k.Run(v, rp); err != nil {
+		t.Errorf("%s (params %+v): %v", v, rp, err)
+		return 0, false
+	}
+	return k.Checksum(), true
+}
+
+// checkDeterminism runs every variant twice on fresh instances and
+// verifies the checksums repeat. Sequential variants must reproduce bit
+// for bit; parallel variants may reassociate atomic floating-point
+// updates between runs, so they are held to the checksum tolerance —
+// tight enough that a data race or lost update still fails
+// deterministically rather than flaking.
+func checkDeterminism(t *testing.T, fullName string) {
+	t.Helper()
+	rp := Params()
+	rp.Size = 8_000 // two runs per variant: keep the cost bounded
+	rp.Reps = 1
+	ref, err := kernels.New(fullName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range ref.Info().Variants {
+		first, ok := runOnce(t, fullName, v, rp)
+		if !ok {
+			continue
+		}
+		second, ok := runOnce(t, fullName, v, rp)
+		if !ok {
+			continue
+		}
+		if v.IsSeq() {
+			if first != second {
+				t.Errorf("%s not deterministic: %v then %v", v, first, second)
+			}
+		} else if !kernels.ChecksumsClose(first, second) {
+			t.Errorf("%s not repeatable: %v then %v", v, first, second)
+		}
+	}
+}
+
+// checkEdgeParams runs every variant at degenerate run parameters — a
+// single-element problem and a problem smaller than the worker count —
+// and verifies each still matches a fresh Base_Seq reference at the same
+// parameters. These shapes exercise the executor's empty-chunk,
+// single-lane, and workers-clamped-to-size paths inside real kernels.
+func checkEdgeParams(t *testing.T, fullName string) {
+	t.Helper()
+	edges := []kernels.RunParams{
+		{Size: 1, Reps: 1, Workers: 1, GPUBlock: 64},
+		{Size: 3, Reps: 1, Workers: 8, GPUBlock: 64}, // workers > size
+	}
+	ref, err := kernels.New(fullName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rp := range edges {
+		want, ok := runOnce(t, fullName, kernels.BaseSeq, rp)
+		if !ok {
+			continue
+		}
+		for _, v := range ref.Info().Variants {
+			if v == kernels.BaseSeq {
+				continue
+			}
+			got, ok := runOnce(t, fullName, v, rp)
+			if !ok {
+				continue
+			}
+			if !kernels.ChecksumsClose(got, want) {
+				t.Errorf("%s at size=%d workers=%d: checksum %v != Base_Seq %v",
+					v, rp.Size, rp.Workers, got, want)
+			}
+		}
+	}
+}
+
+// checkSchedules verifies the executor's scheduling modes are answer-
+// invariant: RAJA_OpenMP must produce a Base_Seq-compatible checksum
+// under static, dynamic, and guided scheduling alike.
+func checkSchedules(t *testing.T, fullName string) {
+	t.Helper()
+	ref, err := kernels.New(fullName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Info().HasVariant(kernels.RAJAOpenMP) {
+		return
+	}
+	rp := Params()
+	rp.Size = 8_000
+	rp.Reps = 1
+	want, ok := runOnce(t, fullName, kernels.BaseSeq, rp)
+	if !ok {
+		return
+	}
+	for _, sched := range []raja.Schedule{raja.ScheduleStatic, raja.ScheduleDynamic, raja.ScheduleGuided} {
+		srp := rp
+		srp.Schedule = sched
+		got, ok := runOnce(t, fullName, kernels.RAJAOpenMP, srp)
+		if !ok {
+			continue
+		}
+		if !kernels.ChecksumsClose(got, want) {
+			t.Errorf("RAJA_OpenMP schedule=%v: checksum %v != Base_Seq %v", sched, got, want)
+		}
 	}
 }
 

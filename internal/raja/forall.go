@@ -1,12 +1,21 @@
 package raja
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
-// Ctx carries per-iteration execution context to kernel bodies. Worker is a
-// dense index in [0, Policy.MaxWorkers()) identifying the executing lane;
-// reducers use it to select a private accumulation slot.
+// Ctx carries per-iteration execution context to kernel bodies. Worker is
+// a dense index in [0, Policy.MaxWorkers()) identifying the executing
+// lane; reducers use it to select a private accumulation slot. Block is
+// the ordinal of the scheduling granule the iteration belongs to — the
+// chunk index under static scheduling (equal to Worker), the block index
+// under dynamic scheduling (the blockIdx analog), and the grab ordinal
+// under guided scheduling; it is 0 under Seq. Every schedule reports
+// Block identically whether the range runs on one lane or many.
 type Ctx struct {
 	Worker int
+	Block  int
 }
 
 // Body is a forall loop body invoked once per index.
@@ -34,31 +43,43 @@ func Forall(p Policy, n int, body Body) {
 }
 
 // ForallRange executes body for every index in r under policy p.
-// Under Seq the iterations run in order on the calling goroutine. Under Par
-// the range is split into one contiguous chunk per worker. Under GPU the
-// range is split into blocks of p.Block iterations distributed dynamically
-// across workers, mirroring thread-block scheduling.
+//
+// Under Seq the iterations run in order on the calling goroutine. Par and
+// GPU dispatch through the policy's persistent worker pool (Policy.Pool,
+// defaulting to the shared Default pool): the caller runs lane 0 while
+// the pool's parked workers take the remaining lanes, so a dispatch costs
+// two channel operations per helper lane rather than a goroutine spawn
+// per chunk. The iteration-to-lane mapping follows Policy.Schedule:
+// static contiguous chunks (the Par default), dynamic fixed-size blocks
+// (the GPU default, mirroring thread-block scheduling), or guided
+// shrinking grabs. If the pool is busy — a concurrent or nested parallel
+// region — or closed, the range runs on freshly spawned goroutines with
+// identical semantics.
 func ForallRange(p Policy, r Range, body Body) {
 	n := r.Len()
 	if n == 0 {
 		return
 	}
-	switch p.Kind {
-	case Seq:
+	if p.Kind == Seq {
 		c := Ctx{}
 		for i := r.Begin; i < r.End; i++ {
 			body(c, i)
 		}
-	case Par:
-		forallChunked(p.workers(), r, body)
-	case GPU:
-		forallBlocked(p.workers(), p.block(), r, body)
+		return
+	}
+	switch p.schedule() {
+	case ScheduleStatic:
+		forallStatic(p.pool(), p.workers(), r, body)
+	case ScheduleGuided:
+		forallGuided(p.pool(), p.workers(), p.guidedMin(), r, body)
+	default:
+		forallDynamic(p.pool(), p.workers(), p.block(), r, body)
 	}
 }
 
-// forallChunked splits r into one contiguous chunk per worker (static
-// schedule, like OpenMP's default).
-func forallChunked(workers int, r Range, body Body) {
+// forallStatic splits r into one contiguous chunk per worker (OpenMP's
+// default schedule). Ctx.Worker and Ctx.Block are the chunk index.
+func forallStatic(pool *Pool, workers int, r Range, body Body) {
 	n := r.Len()
 	if workers > n {
 		workers = n
@@ -70,9 +91,83 @@ func forallChunked(workers int, r Range, body Body) {
 		}
 		return
 	}
-	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
+	chunks := (n + chunk - 1) / chunk
+	if pool.forallStatic(r, body, chunks, chunk) {
+		return
+	}
+	spawnForallStatic(r, body, chunks, chunk)
+}
+
+// forallDynamic distributes fixed-size blocks across workers from a
+// shared cursor, the scheduling shape of a GPU grid. The degenerate
+// single-lane path walks the same blocks in the same order, so bodies
+// observe identical block-granular Ctx semantics at any worker count.
+func forallDynamic(pool *Pool, workers, block int, r Range, body Body) {
+	n := r.Len()
+	blocks := (n + block - 1) / block
+	if workers > blocks {
+		workers = blocks
+	}
+	if workers <= 1 {
+		c := Ctx{}
+		for b := 0; b < blocks; b++ {
+			lo := r.Begin + b*block
+			hi := lo + block
+			if hi > r.End {
+				hi = r.End
+			}
+			c.Block = b
+			for i := lo; i < hi; i++ {
+				body(c, i)
+			}
+		}
+		return
+	}
+	if pool.forallDynamic(r, body, block, workers) {
+		return
+	}
+	spawnForallDynamic(r, body, block, workers)
+}
+
+// forallGuided hands each worker exponentially shrinking grabs — half the
+// remaining range split across lanes, floored at minGrab. The degenerate
+// single-lane path performs the same grab sequence so Ctx.Block ordinals
+// match the multi-lane path.
+func forallGuided(pool *Pool, workers, minGrab int, r Range, body Body) {
+	n := r.Len()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		c := Ctx{}
+		for cur := 0; cur < n; {
+			take := (n - cur) / 2
+			if take < minGrab {
+				take = minGrab
+			}
+			if take > n-cur {
+				take = n - cur
+			}
+			for i := r.Begin + cur; i < r.Begin+cur+take; i++ {
+				body(c, i)
+			}
+			cur += take
+			c.Block++
+		}
+		return
+	}
+	if pool.forallGuided(r, body, minGrab, workers) {
+		return
+	}
+	spawnForallGuided(r, body, minGrab, workers)
+}
+
+// spawnForallStatic is the goroutine-per-chunk static path, used when the
+// pool is unavailable and as the pre-pool baseline in benchmarks.
+func spawnForallStatic(r Range, body Body, chunks, chunk int) {
+	var wg sync.WaitGroup
+	for w := 0; w < chunks; w++ {
 		lo := r.Begin + w*chunk
 		hi := lo + chunk
 		if hi > r.End {
@@ -84,7 +179,7 @@ func forallChunked(workers int, r Range, body Body) {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			c := Ctx{Worker: w}
+			c := Ctx{Worker: w, Block: w}
 			for i := lo; i < hi; i++ {
 				body(c, i)
 			}
@@ -93,24 +188,14 @@ func forallChunked(workers int, r Range, body Body) {
 	wg.Wait()
 }
 
-// forallBlocked distributes fixed-size blocks across workers using a shared
-// cursor (dynamic schedule), the scheduling shape of a GPU grid.
-func forallBlocked(workers, block int, r Range, body Body) {
+// spawnForallDynamic is the goroutine-per-worker dynamic path, used when
+// the pool is unavailable and as the pre-pool baseline in benchmarks.
+func spawnForallDynamic(r Range, body Body, block, workers int) {
 	n := r.Len()
 	blocks := (n + block - 1) / block
-	if workers > blocks {
-		workers = blocks
-	}
-	if workers <= 1 {
-		c := Ctx{}
-		for i := r.Begin; i < r.End; i++ {
-			body(c, i)
-		}
-		return
-	}
 	var (
 		wg     sync.WaitGroup
-		cursor counter
+		cursor atomic.Int64
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -118,7 +203,7 @@ func forallBlocked(workers, block int, r Range, body Body) {
 			defer wg.Done()
 			c := Ctx{Worker: w}
 			for {
-				b := cursor.next()
+				b := int(cursor.Add(1) - 1)
 				if b >= blocks {
 					return
 				}
@@ -127,6 +212,48 @@ func forallBlocked(workers, block int, r Range, body Body) {
 				if hi > r.End {
 					hi = r.End
 				}
+				c.Block = b
+				for i := lo; i < hi; i++ {
+					body(c, i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// spawnForallGuided is the goroutine-per-worker guided path, used when
+// the pool is unavailable.
+func spawnForallGuided(r Range, body Body, minGrab, workers int) {
+	n := int64(r.Len())
+	var (
+		wg     sync.WaitGroup
+		cursor atomic.Int64
+		grabs  atomic.Int64
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := Ctx{Worker: w}
+			for {
+				cur := cursor.Load()
+				if cur >= n {
+					return
+				}
+				take := (n - cur) / int64(2*workers)
+				if take < int64(minGrab) {
+					take = int64(minGrab)
+				}
+				if take > n-cur {
+					take = n - cur
+				}
+				if !cursor.CompareAndSwap(cur, cur+take) {
+					continue
+				}
+				c.Block = int(grabs.Add(1) - 1)
+				lo := r.Begin + int(cur)
+				hi := lo + int(take)
 				for i := lo; i < hi; i++ {
 					body(c, i)
 				}

@@ -44,12 +44,20 @@ func (k PolicyKind) String() string {
 // Policy selects an execution back-end and its parameters.
 type Policy struct {
 	Kind PolicyKind
-	// Workers is the number of goroutines used by Par and GPU policies.
-	// Zero means runtime.GOMAXPROCS(0).
+	// Workers is the number of execution lanes used by Par and GPU
+	// policies. Zero means runtime.GOMAXPROCS(0).
 	Workers int
-	// Block is the iteration block size for the GPU policy. Zero means
-	// DefaultBlock. Par policies ignore it.
+	// Block is the iteration block size for dynamic scheduling (zero
+	// means DefaultBlock) and the minimum grab for guided scheduling
+	// (zero means GuidedMinGrab). Static schedules ignore it.
 	Block int
+	// Schedule maps iterations onto workers under Par and GPU policies.
+	// ScheduleDefault means static chunking for Par and dynamic block
+	// scheduling for GPU.
+	Schedule Schedule
+	// Pool is the persistent executor parallel policies dispatch through.
+	// Nil means the shared Default() pool.
+	Pool *Pool
 }
 
 // DefaultBlock is the GPU block size used when Policy.Block is zero,
@@ -83,6 +91,33 @@ func (p Policy) block() int {
 		return p.Block
 	}
 	return DefaultBlock
+}
+
+// guidedMin resolves the guided schedule's minimum grab size.
+func (p Policy) guidedMin() int {
+	if p.Block > 0 {
+		return p.Block
+	}
+	return GuidedMinGrab
+}
+
+// schedule resolves ScheduleDefault by policy kind.
+func (p Policy) schedule() Schedule {
+	if p.Schedule != ScheduleDefault {
+		return p.Schedule
+	}
+	if p.Kind == GPU {
+		return ScheduleDynamic
+	}
+	return ScheduleStatic
+}
+
+// pool resolves the executor pool for the policy.
+func (p Policy) pool() *Pool {
+	if p.Pool != nil {
+		return p.Pool
+	}
+	return Default()
 }
 
 // MaxWorkers reports the number of distinct Ctx.Worker values Forall may

@@ -1,0 +1,492 @@
+package raja
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Schedule selects how a parallel policy maps iterations onto executor
+// lanes, mirroring OpenMP's schedule clause.
+type Schedule int
+
+const (
+	// ScheduleDefault resolves to ScheduleStatic under Par and
+	// ScheduleDynamic under GPU, the shapes the suite's back-ends model.
+	ScheduleDefault Schedule = iota
+	// ScheduleStatic assigns one contiguous chunk per worker up front
+	// (OpenMP schedule(static)). Ctx.Worker is the chunk index, so lane
+	// assignment — and therefore reduction rounding — is deterministic.
+	ScheduleStatic
+	// ScheduleDynamic hands out fixed-size blocks from a shared cursor
+	// (OpenMP schedule(dynamic, block); the GPU grid shape). Block size
+	// comes from Policy.Block.
+	ScheduleDynamic
+	// ScheduleGuided hands out exponentially shrinking grabs — half the
+	// remaining work divided among lanes, never less than the minimum
+	// grab — trading dispatch overhead against load balance (OpenMP
+	// schedule(guided)).
+	ScheduleGuided
+)
+
+// String returns the OpenMP-style schedule name.
+func (s Schedule) String() string {
+	switch s {
+	case ScheduleDefault:
+		return "default"
+	case ScheduleStatic:
+		return "static"
+	case ScheduleDynamic:
+		return "dynamic"
+	case ScheduleGuided:
+		return "guided"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseSchedule returns the Schedule named by s ("default", "static",
+// "dynamic", "guided").
+func ParseSchedule(s string) (Schedule, bool) {
+	for sc := ScheduleDefault; sc <= ScheduleGuided; sc++ {
+		if sc.String() == s {
+			return sc, true
+		}
+	}
+	return ScheduleDefault, false
+}
+
+// GuidedMinGrab is the smallest index span the guided schedule hands a
+// lane when Policy.Block does not override it. Small enough that short
+// ranges still balance, large enough that the grab CAS is amortized.
+const GuidedMinGrab = 32
+
+// Pool is a persistent worker-pool executor for the parallel back-ends.
+// A pool of n lanes keeps n-1 goroutines parked on per-worker wake
+// channels; the caller of a parallel region participates as lane 0, so a
+// dispatch costs two channel operations per helper lane instead of a
+// goroutine spawn per chunk. One dispatch runs at a time; concurrent or
+// nested parallel regions fall back to spawning goroutines (see acquire),
+// which keeps the pool deadlock-free without a scheduler.
+//
+// Workers start lazily on the first dispatch and park between dispatches,
+// so an idle Pool costs nothing but its struct. Close releases the
+// workers; a closed pool's callers fall back to spawning.
+type Pool struct {
+	lanes   int
+	mu      sync.Mutex
+	started bool
+	closed  bool
+	workers []poolWorker
+	done    chan struct{}
+	task    poolTask
+}
+
+type poolWorker struct {
+	wake chan struct{}
+}
+
+// poolTask is the in-flight dispatch, reused across dispatches so the
+// steady-state Forall path performs zero allocations. Written by the
+// dispatching goroutine before the wake sends, read by workers after
+// their wake receives; the channel operations order the accesses.
+type poolTask struct {
+	sched   Schedule
+	body    Body                // forall modes
+	chunkFn func(w, lo, hi int) // static skeleton mode (Base_OpenMP)
+	blockFn func(lo, hi int)    // dynamic skeleton mode (Base_GPU)
+	r       Range
+	lanes   int
+	chunk   int // static: chunk size
+	chunks  int // static: chunk count
+	block   int // dynamic: block size; guided: minimum grab
+	cursor  atomic.Int64
+	grabs   atomic.Int64 // guided: grab ordinal for Ctx.Block
+	pending atomic.Int32
+}
+
+// NewPool returns a pool with n execution lanes (n-1 parked goroutines
+// plus the dispatching caller). n <= 0 means runtime.GOMAXPROCS(0).
+// Workers are not started until the first dispatch.
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{lanes: n, done: make(chan struct{}, 1)}
+}
+
+var (
+	defaultPoolOnce sync.Once
+	defaultPool     *Pool
+)
+
+// Default returns the shared GOMAXPROCS-sized pool used by parallel
+// policies whose Policy.Pool is nil. It is created lazily and its workers
+// start on the first parallel dispatch.
+func Default() *Pool {
+	defaultPoolOnce.Do(func() { defaultPool = NewPool(0) })
+	return defaultPool
+}
+
+// Lanes reports the pool's execution-lane count.
+func (p *Pool) Lanes() int { return p.lanes }
+
+// Close parks the pool permanently: its workers exit and subsequent
+// dispatches fall back to spawning goroutines. Close waits for an
+// in-flight dispatch to finish and is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	if p.started {
+		for i := range p.workers {
+			close(p.workers[i].wake)
+		}
+	}
+}
+
+// startLocked spawns the parked workers. Caller holds p.mu.
+func (p *Pool) startLocked() {
+	p.workers = make([]poolWorker, p.lanes-1)
+	for i := range p.workers {
+		p.workers[i].wake = make(chan struct{}, 1)
+		go p.workerLoop(i)
+	}
+	p.started = true
+}
+
+func (p *Pool) workerLoop(id int) {
+	w := &p.workers[id]
+	for range w.wake {
+		p.task.runLane(id + 1)
+		if p.task.pending.Add(-1) == 0 {
+			p.done <- struct{}{}
+		}
+	}
+}
+
+// acquire claims the pool for one dispatch. It fails — and the caller
+// must fall back to spawning goroutines — when the pool has a single
+// lane, is closed, or is already mid-dispatch (a concurrent Forall from
+// another goroutine, or a nested parallel region issued from inside a
+// pool worker; blocking in either case could deadlock every lane).
+func (p *Pool) acquire() bool {
+	if p.lanes < 2 || !p.mu.TryLock() {
+		return false
+	}
+	if p.closed {
+		p.mu.Unlock()
+		return false
+	}
+	if !p.started {
+		p.startLocked()
+	}
+	return true
+}
+
+// runAndWait wakes lanes-1 helpers, runs lane 0 on the caller, waits for
+// the helpers, and releases the pool. Caller must have acquired the pool
+// and filled p.task for `lanes` participants.
+func (p *Pool) runAndWait(lanes int) {
+	t := &p.task
+	t.pending.Store(int32(lanes - 1))
+	for w := 0; w < lanes-1; w++ {
+		p.workers[w].wake <- struct{}{}
+	}
+	t.runLane(0)
+	if lanes > 1 {
+		<-p.done
+	}
+	t.body, t.chunkFn, t.blockFn = nil, nil, nil
+	p.mu.Unlock()
+}
+
+// clampLanes bounds a requested lane count by the pool size.
+func (p *Pool) clampLanes(n int) int {
+	if n > p.lanes {
+		return p.lanes
+	}
+	return n
+}
+
+// forallStatic dispatches a static-chunked forall; false if the pool was
+// unavailable. chunks*chunk covers r; Ctx.Worker is the chunk index.
+func (p *Pool) forallStatic(r Range, body Body, chunks, chunk int) bool {
+	if !p.acquire() {
+		return false
+	}
+	t := &p.task
+	t.sched = ScheduleStatic
+	t.body = body
+	t.r = r
+	t.lanes = p.clampLanes(chunks)
+	t.chunk, t.chunks = chunk, chunks
+	p.runAndWait(t.lanes)
+	return true
+}
+
+// forallDynamic dispatches a block-cursor forall over lanes workers;
+// false if the pool was unavailable.
+func (p *Pool) forallDynamic(r Range, body Body, block, lanes int) bool {
+	if !p.acquire() {
+		return false
+	}
+	t := &p.task
+	t.sched = ScheduleDynamic
+	t.body = body
+	t.r = r
+	t.lanes = p.clampLanes(lanes)
+	t.block = block
+	t.cursor.Store(0)
+	p.runAndWait(t.lanes)
+	return true
+}
+
+// forallGuided dispatches a guided forall over lanes workers; false if
+// the pool was unavailable.
+func (p *Pool) forallGuided(r Range, body Body, minGrab, lanes int) bool {
+	if !p.acquire() {
+		return false
+	}
+	t := &p.task
+	t.sched = ScheduleGuided
+	t.body = body
+	t.r = r
+	t.lanes = p.clampLanes(lanes)
+	t.block = minGrab
+	t.cursor.Store(0)
+	t.grabs.Store(0)
+	p.runAndWait(t.lanes)
+	return true
+}
+
+// StaticChunks executes f over one contiguous chunk of [0, n) per worker
+// — the hand-written fork-join skeleton of the Base_OpenMP variants —
+// and returns the number of chunks dispatched. f receives the dense chunk
+// index w. Workers of zero means all cores. Falls back to spawning
+// goroutines when the pool is busy or closed.
+func (p *Pool) StaticChunks(workers, n int, f func(w, lo, hi int)) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		f(0, 0, n)
+		return 1
+	}
+	chunk := (n + workers - 1) / workers
+	chunks := (n + chunk - 1) / chunk
+	if !p.staticChunks(chunks, chunk, n, f) {
+		spawnStaticChunks(chunks, chunk, n, f)
+	}
+	return chunks
+}
+
+func (p *Pool) staticChunks(chunks, chunk, n int, f func(w, lo, hi int)) bool {
+	if !p.acquire() {
+		return false
+	}
+	t := &p.task
+	t.sched = ScheduleStatic
+	t.chunkFn = f
+	t.r = Range{0, n}
+	t.lanes = p.clampLanes(chunks)
+	t.chunk, t.chunks = chunk, chunks
+	p.runAndWait(t.lanes)
+	return true
+}
+
+// DynamicBlocks executes f over fixed-size blocks of [0, n) scheduled
+// dynamically across workers — the hand-written skeleton of the Base_GPU
+// variants. Block of zero means DefaultBlock; workers of zero means all
+// cores. The single-lane degenerate path still walks the range block by
+// block so f observes the same block-granular call pattern as the
+// multi-lane path. Falls back to spawning when the pool is unavailable.
+func (p *Pool) DynamicBlocks(workers, block, n int, f func(lo, hi int)) {
+	if block <= 0 {
+		block = DefaultBlock
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if n <= 0 {
+		f(0, n)
+		return
+	}
+	blocks := (n + block - 1) / block
+	if workers > blocks {
+		workers = blocks
+	}
+	if workers <= 1 {
+		for lo := 0; lo < n; lo += block {
+			hi := lo + block
+			if hi > n {
+				hi = n
+			}
+			f(lo, hi)
+		}
+		return
+	}
+	if !p.dynamicBlocks(block, n, workers, f) {
+		spawnDynamicBlocks(block, n, workers, f)
+	}
+}
+
+func (p *Pool) dynamicBlocks(block, n, lanes int, f func(lo, hi int)) bool {
+	if !p.acquire() {
+		return false
+	}
+	t := &p.task
+	t.sched = ScheduleDynamic
+	t.blockFn = f
+	t.r = Range{0, n}
+	t.lanes = p.clampLanes(lanes)
+	t.block = block
+	t.cursor.Store(0)
+	p.runAndWait(t.lanes)
+	return true
+}
+
+// runLane executes one lane's share of the in-flight task.
+func (t *poolTask) runLane(lane int) {
+	switch t.sched {
+	case ScheduleStatic:
+		t.runStatic(lane)
+	case ScheduleGuided:
+		t.runGuided(lane)
+	default:
+		t.runDynamic(lane)
+	}
+}
+
+// runStatic walks chunks lane, lane+lanes, ... so every chunk executes
+// exactly once even when there are more chunks than lanes, and chunk w
+// always reports Ctx.Worker == w regardless of which lane ran it.
+func (t *poolTask) runStatic(lane int) {
+	for w := lane; w < t.chunks; w += t.lanes {
+		lo := t.r.Begin + w*t.chunk
+		hi := lo + t.chunk
+		if hi > t.r.End {
+			hi = t.r.End
+		}
+		if lo >= hi {
+			return
+		}
+		if t.chunkFn != nil {
+			t.chunkFn(w, lo-t.r.Begin, hi-t.r.Begin)
+			continue
+		}
+		body := t.body
+		c := Ctx{Worker: w, Block: w}
+		for i := lo; i < hi; i++ {
+			body(c, i)
+		}
+	}
+}
+
+func (t *poolTask) runDynamic(lane int) {
+	n := t.r.Len()
+	blocks := (n + t.block - 1) / t.block
+	body := t.body
+	c := Ctx{Worker: lane}
+	for {
+		b := int(t.cursor.Add(1) - 1)
+		if b >= blocks {
+			return
+		}
+		lo := t.r.Begin + b*t.block
+		hi := lo + t.block
+		if hi > t.r.End {
+			hi = t.r.End
+		}
+		if t.blockFn != nil {
+			t.blockFn(lo-t.r.Begin, hi-t.r.Begin)
+			continue
+		}
+		c.Block = b
+		for i := lo; i < hi; i++ {
+			body(c, i)
+		}
+	}
+}
+
+func (t *poolTask) runGuided(lane int) {
+	n := int64(t.r.Len())
+	body := t.body
+	c := Ctx{Worker: lane}
+	for {
+		cur := t.cursor.Load()
+		if cur >= n {
+			return
+		}
+		take := (n - cur) / int64(2*t.lanes)
+		if take < int64(t.block) {
+			take = int64(t.block)
+		}
+		if take > n-cur {
+			take = n - cur
+		}
+		if !t.cursor.CompareAndSwap(cur, cur+take) {
+			continue
+		}
+		c.Block = int(t.grabs.Add(1) - 1)
+		lo := t.r.Begin + int(cur)
+		hi := lo + int(take)
+		for i := lo; i < hi; i++ {
+			body(c, i)
+		}
+	}
+}
+
+// spawnStaticChunks is the goroutine-per-chunk fallback (and the
+// pre-pool baseline measured by BenchmarkForallPar/spawn).
+func spawnStaticChunks(chunks, chunk, n int, f func(w, lo, hi int)) {
+	var wg sync.WaitGroup
+	for w := 0; w < chunks; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			f(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// spawnDynamicBlocks is the goroutine-per-worker dynamic fallback.
+func spawnDynamicBlocks(block, n, workers int, f func(lo, hi int)) {
+	blocks := (n + block - 1) / block
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(cursor.Add(1) - 1)
+				if b >= blocks {
+					return
+				}
+				lo := b * block
+				hi := lo + block
+				if hi > n {
+					hi = n
+				}
+				f(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}

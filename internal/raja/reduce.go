@@ -1,14 +1,5 @@
 package raja
 
-import "sync/atomic"
-
-// counter is a contended-safe block cursor used by the GPU schedule.
-type counter struct {
-	v atomic.Int64
-}
-
-func (c *counter) next() int { return int(c.v.Add(1) - 1) }
-
 // cacheLinePad separates per-worker reduction lanes to avoid false sharing.
 const lanePad = 8 // 8 float64 = 64 bytes
 

@@ -1,7 +1,5 @@
 package raja
 
-import "sync"
-
 // InclusiveScanSum writes the inclusive prefix sum of src into dst
 // (RAJA::inclusive_scan). Under parallel policies it uses the classic
 // three-phase scan: per-chunk partial sums, a sequential scan of the chunk
@@ -42,58 +40,51 @@ func scanSum[T Number](p Policy, dst, src []T, exclusive bool) {
 	}
 
 	chunk := (n + workers - 1) / workers
-	totals := make([]T, workers)
+	chunks := (n + chunk - 1) / chunk
+	totals := make([]T, chunks)
+	pp := chunkLoopPolicy(p)
 
-	// Phase 1: independent per-chunk scans.
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	// Phase 1: independent per-chunk scans, one chunk per forall index.
+	ForallRange(pp, RangeN(chunks), func(_ Ctx, w int) {
 		lo, hi := bounds(w, chunk, n)
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			var acc T
-			if exclusive {
-				for i := lo; i < hi; i++ {
-					dst[i] = acc
-					acc += src[i]
-				}
-			} else {
-				for i := lo; i < hi; i++ {
-					acc += src[i]
-					dst[i] = acc
-				}
+		var acc T
+		if exclusive {
+			for i := lo; i < hi; i++ {
+				dst[i] = acc
+				acc += src[i]
 			}
-			totals[w] = acc
-		}(w, lo, hi)
-	}
-	wg.Wait()
+		} else {
+			for i := lo; i < hi; i++ {
+				acc += src[i]
+				dst[i] = acc
+			}
+		}
+		totals[w] = acc
+	})
 
 	// Phase 2: scan the chunk totals sequentially.
 	var run T
-	offsets := make([]T, workers)
-	for w := 0; w < workers; w++ {
+	offsets := make([]T, chunks)
+	for w := 0; w < chunks; w++ {
 		offsets[w] = run
 		run += totals[w]
 	}
 
 	// Phase 3: add each chunk's offset.
-	for w := 1; w < workers; w++ {
+	ForallRange(pp, Range{1, chunks}, func(_ Ctx, w int) {
 		lo, hi := bounds(w, chunk, n)
-		if lo >= hi {
-			break
+		off := offsets[w]
+		for i := lo; i < hi; i++ {
+			dst[i] += off
 		}
-		wg.Add(1)
-		go func(off T, lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				dst[i] += off
-			}
-		}(offsets[w], lo, hi)
-	}
-	wg.Wait()
+	})
+}
+
+// chunkLoopPolicy derives the policy scan and sort use to distribute
+// whole chunks (not single indices) across the pool: dynamic scheduling
+// with block size 1 over the chunk-index space, on the caller's pool.
+func chunkLoopPolicy(p Policy) Policy {
+	return Policy{Kind: Par, Workers: p.workers(), Schedule: ScheduleDynamic, Block: 1, Pool: p.Pool}
 }
 
 func bounds(w, chunk, n int) (int, int) {

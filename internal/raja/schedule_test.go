@@ -1,0 +1,112 @@
+package raja
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// TestScheduleEquivalence is the scheduling-equivalence conformance test:
+// every Schedule x worker count x block size must cover each index of a
+// Range exactly once — including empty, single-element, and
+// workers-exceed-size ranges — on both the pooled and spawned paths.
+// A pool scheduling bug (lost chunk, double-grabbed block, mis-advanced
+// cursor) surfaces here as a deterministic failure.
+func TestScheduleEquivalence(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+
+	schedules := []Schedule{ScheduleStatic, ScheduleDynamic, ScheduleGuided}
+	workerCounts := []int{1, 2, 3, 4, 7, 33}
+	blocks := []int{0, 1, 7, 64}
+	ranges := []Range{
+		{0, 0},    // empty
+		{5, 5},    // empty, nonzero origin
+		{9, 3},    // reversed (empty)
+		{0, 1},    // single element
+		{41, 42},  // single element, nonzero origin
+		{0, 2},    // fewer elements than most worker counts
+		{0, 100},  //
+		{17, 930}, // origin + non-multiple length
+		{0, 4096},
+	}
+
+	for _, kind := range []PolicyKind{Par, GPU} {
+		for _, sched := range schedules {
+			for _, workers := range workerCounts {
+				for _, block := range blocks {
+					for _, r := range ranges {
+						p := Policy{Kind: kind, Workers: workers, Block: block,
+							Schedule: sched, Pool: pool}
+						name := fmt.Sprintf("%v/%v/w%d/b%d/%v", kind, sched, workers, block, r)
+						checkCoverage(t, name, p, r)
+					}
+				}
+			}
+		}
+	}
+}
+
+func checkCoverage(t *testing.T, name string, p Policy, r Range) {
+	t.Helper()
+	n := r.Len()
+	hits := make([]int32, n)
+	maxWorker := p.MaxWorkers()
+	var badWorker atomic.Int32
+	ForallRange(p, r, func(c Ctx, i int) {
+		if i < r.Begin || i >= r.End {
+			t.Errorf("%s: index %d outside range", name, i)
+			return
+		}
+		if c.Worker < 0 || c.Worker >= maxWorker {
+			badWorker.Add(1)
+		}
+		atomic.AddInt32(&hits[i-r.Begin], 1)
+	})
+	for k, h := range hits {
+		if h != 1 {
+			t.Fatalf("%s: index %d hit %d times, want exactly 1", name, r.Begin+k, h)
+		}
+	}
+	if badWorker.Load() != 0 {
+		t.Fatalf("%s: %d iterations saw Worker outside [0,%d)", name, badWorker.Load(), maxWorker)
+	}
+}
+
+// TestScheduleEquivalenceOnSpawnFallback repeats the coverage check with
+// the pool closed, forcing every schedule through the goroutine-spawn
+// fallback so both execution paths stay conformant.
+func TestScheduleEquivalenceOnSpawnFallback(t *testing.T) {
+	pool := NewPool(4)
+	pool.Close()
+	for _, sched := range []Schedule{ScheduleStatic, ScheduleDynamic, ScheduleGuided} {
+		for _, r := range []Range{{0, 0}, {0, 1}, {3, 1000}} {
+			for _, workers := range []int{2, 5} {
+				p := Policy{Kind: Par, Workers: workers, Schedule: sched, Pool: pool}
+				name := fmt.Sprintf("closed-pool/%v/w%d/%v", sched, workers, r)
+				checkCoverage(t, name, p, r)
+			}
+		}
+	}
+}
+
+// TestSchedulesAgreeOnReduction verifies a ReduceSum computes the same
+// total under every schedule: lanes are private per Ctx.Worker, so any
+// worker-index aliasing between schedules would corrupt the sum. Integer
+// elements make the check exact regardless of accumulation order.
+func TestSchedulesAgreeOnReduction(t *testing.T) {
+	const n = 100_001
+	want := int64(n) * int64(n-1) / 2
+	for _, kind := range []PolicyKind{Par, GPU} {
+		for _, sched := range []Schedule{ScheduleStatic, ScheduleDynamic, ScheduleGuided} {
+			for _, workers := range []int{1, 3, 8} {
+				p := Policy{Kind: kind, Workers: workers, Schedule: sched}
+				sum := NewReduceSum[int64](p, 0)
+				Forall(p, n, func(c Ctx, i int) { sum.Add(c, int64(i)) })
+				if got := sum.Get(); got != want {
+					t.Errorf("%v/%v/w%d: sum = %d, want %d", kind, sched, workers, got, want)
+				}
+			}
+		}
+	}
+}

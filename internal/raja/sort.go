@@ -1,22 +1,20 @@
 package raja
 
-import (
-	"sort"
-	"sync"
-)
+import "sort"
 
 // Sort sorts x ascending (RAJA::sort). Under parallel policies it sorts
-// per-worker chunks concurrently and merges pairwise.
+// per-worker chunks concurrently and merges pairwise, with both phases
+// dispatched through the policy's worker pool.
 func Sort[T Number](p Policy, x []T) {
 	workers := p.workers()
 	if p.Kind == Seq || workers <= 1 || len(x) < 4*workers {
 		sort.Slice(x, func(i, j int) bool { return x[i] < x[j] })
 		return
 	}
-	parallelMergeSort(x, workers)
+	parallelMergeSort(p, x, workers)
 }
 
-func parallelMergeSort[T Number](x []T, workers int) {
+func parallelMergeSort[T Number](p Policy, x []T, workers int) {
 	n := len(x)
 	// Round workers down to a power of two so the merge tree is balanced.
 	chunks := 1
@@ -24,27 +22,27 @@ func parallelMergeSort[T Number](x []T, workers int) {
 		chunks *= 2
 	}
 	chunk := (n + chunks - 1) / chunks
-	var wg sync.WaitGroup
-	for c := 0; c < chunks; c++ {
-		lo, hi := bounds(c, chunk, n)
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(s []T) {
-			defer wg.Done()
-			sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-		}(x[lo:hi])
-	}
-	wg.Wait()
+	pp := chunkLoopPolicy(p)
 
+	// Sort the chunks concurrently, one chunk per forall index.
+	ForallRange(pp, RangeN(chunks), func(_ Ctx, c int) {
+		lo, hi := bounds(c, chunk, n)
+		if lo < hi {
+			s := x[lo:hi]
+			sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		}
+	})
+
+	// Merge pairwise, one merge job per forall index per level.
 	src, dst := x, make([]T, n)
 	swapped := false
 	for width := chunk; width < n; width *= 2 {
-		var mg sync.WaitGroup
-		for lo := 0; lo < n; lo += 2 * width {
-			mid := lo + width
-			hi := lo + 2*width
+		s, d, w := src, dst, width
+		pairs := (n + 2*w - 1) / (2 * w)
+		ForallRange(pp, RangeN(pairs), func(_ Ctx, k int) {
+			lo := k * 2 * w
+			mid := lo + w
+			hi := lo + 2*w
 			if mid > n {
 				mid = n
 			}
@@ -52,16 +50,11 @@ func parallelMergeSort[T Number](x []T, workers int) {
 				hi = n
 			}
 			if mid >= hi {
-				copy(dst[lo:hi], src[lo:hi])
-				continue
+				copy(d[lo:hi], s[lo:hi])
+				return
 			}
-			mg.Add(1)
-			go func(lo, mid, hi int) {
-				defer mg.Done()
-				mergeInto(dst[lo:hi], src[lo:mid], src[mid:hi])
-			}(lo, mid, hi)
-		}
-		mg.Wait()
+			mergeInto(d[lo:hi], s[lo:mid], s[mid:hi])
+		})
 		src, dst = dst, src
 		swapped = !swapped
 	}

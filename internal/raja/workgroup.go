@@ -1,7 +1,5 @@
 package raja
 
-import "sync"
-
 // WorkGroup collects many small loop bodies and dispatches them as a single
 // fused launch, mirroring RAJA::WorkGroup. The suite's HALO_*_FUSED kernels
 // use it to amortize per-launch overhead across the many short pack/unpack
@@ -52,29 +50,15 @@ func (g *WorkGroup) Run(p Policy) {
 		}
 		return
 	}
-	if workers > len(items) {
-		workers = len(items)
-	}
-	var (
-		wg     sync.WaitGroup
-		cursor counter
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			c := Ctx{Worker: w}
-			for {
-				k := cursor.next()
-				if k >= len(items) {
-					return
-				}
-				it := items[k]
-				for i := 0; i < it.n; i++ {
-					it.body(c, i)
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
+	// Distribute whole items dynamically across the policy's pool: one
+	// forall index per item, block size 1, so iterations of one item
+	// never split across workers.
+	pp := chunkLoopPolicy(p)
+	pp.Workers = workers
+	ForallRange(pp, RangeN(len(items)), func(c Ctx, k int) {
+		it := items[k]
+		for i := 0; i < it.n; i++ {
+			it.body(c, i)
+		}
+	})
 }

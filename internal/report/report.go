@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"rajaperf/internal/kernels"
+	"rajaperf/internal/raja"
 )
 
 // Config selects what to run and how.
@@ -23,6 +24,9 @@ type Config struct {
 	Reps     int // repetitions (0 = kernel defaults)
 	Workers  int
 	GPUBlock int
+	// Schedule selects the parallel loop schedule for the OpenMP and GPU
+	// back-ends (0 = back-end default).
+	Schedule raja.Schedule
 }
 
 // KernelResult holds one kernel's measurements across variants.
@@ -83,6 +87,7 @@ func Run(cfg Config) (*Report, error) {
 		rp := kernels.RunParams{
 			Size: cfg.Size, Reps: cfg.Reps,
 			Workers: cfg.Workers, GPUBlock: cfg.GPUBlock,
+			Schedule: cfg.Schedule,
 		}
 		res := KernelResult{
 			Name:      name,

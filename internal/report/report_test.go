@@ -8,6 +8,7 @@ import (
 	_ "rajaperf/internal/kernels/basic"
 	_ "rajaperf/internal/kernels/comm"
 	_ "rajaperf/internal/kernels/stream"
+	"rajaperf/internal/raja"
 )
 
 func smallConfig() Config {
@@ -121,7 +122,7 @@ func TestUnknownKernelErrors(t *testing.T) {
 func TestScalingStudy(t *testing.T) {
 	rows, err := ScalingStudy(
 		[]string{"Stream_TRIAD", "Basic_MAT_MAT_SHARED", "Comm_HALO_SENDRECV"},
-		[]int{1, 2}, 200_000, 2)
+		[]int{1, 2}, 200_000, 2, raja.ScheduleDefault)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"rajaperf/internal/kernels"
+	"rajaperf/internal/raja"
 )
 
 // ScalingRow is one kernel's strong-scaling measurement: wall time per
@@ -19,12 +20,16 @@ type ScalingRow struct {
 
 // ScalingStudy measures strong scaling of the given kernels' RAJA_OpenMP
 // variant on the host across worker counts — the "kernel scalability with
-// the increase in computational resources" evaluation of Sec II-C.
-func ScalingStudy(names []string, workerCounts []int, size, reps int) ([]ScalingRow, error) {
+// the increase in computational resources" evaluation of Sec II-C. All
+// worker counts dispatch through one persistent pool sized for the
+// largest count, so the study measures scheduling, not goroutine churn.
+func ScalingStudy(names []string, workerCounts []int, size, reps int, sched raja.Schedule) ([]ScalingRow, error) {
 	if len(workerCounts) == 0 {
 		workerCounts = []int{1, 2, 4}
 	}
 	sort.Ints(workerCounts)
+	pool := raja.NewPool(workerCounts[len(workerCounts)-1])
+	defer pool.Close()
 	var rows []ScalingRow
 	for _, name := range names {
 		k, err := kernels.New(name)
@@ -36,7 +41,8 @@ func ScalingStudy(names []string, workerCounts []int, size, reps int) ([]Scaling
 		}
 		row := ScalingRow{Kernel: name, Times: map[int]float64{}}
 		for _, w := range workerCounts {
-			rp := kernels.RunParams{Size: size, Reps: reps, Workers: w}
+			rp := kernels.RunParams{Size: size, Reps: reps, Workers: w,
+				Schedule: sched, Pool: pool}
 			k.SetUp(rp)
 			best := 0.0
 			for pass := 0; pass < 3; pass++ {

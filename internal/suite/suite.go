@@ -16,6 +16,7 @@ import (
 	"rajaperf/internal/gpusim"
 	"rajaperf/internal/kernels"
 	"rajaperf/internal/machine"
+	"rajaperf/internal/raja"
 	"rajaperf/internal/tma"
 
 	// Register all kernel groups.
@@ -43,6 +44,14 @@ type Config struct {
 	Workers     int      // execution workers (0 = all cores)
 	Kernels     []string // full names; empty = whole suite
 	Execute     bool     // run the real computation (checksums); models run either way
+
+	// Schedule selects the parallel loop schedule for executed parallel
+	// back-ends (0 = back-end default: static for OpenMP, dynamic for GPU).
+	Schedule raja.Schedule
+	// Pool is the persistent executor every kernel of the run dispatches
+	// through, so a whole suite run reuses one set of parked workers.
+	// Nil means the shared raja.Default() pool.
+	Pool *raja.Pool
 }
 
 // DefaultVariant returns the variant Table III assigns to a machine:
@@ -88,6 +97,7 @@ func Run(cfg Config) (*caliper.Profile, error) {
 	rec.AddMetadata("machine", cfg.Machine.Shorthand)
 	rec.AddMetadata("variant", cfg.Variant.String())
 	rec.AddMetadata("tuning", tuningName(cfg))
+	rec.AddMetadata("schedule", cfg.Schedule.String())
 	rec.AddMetadata("ranks", ranks)
 	rec.AddMetadata("size_per_node", sizeNode)
 	rec.AddMetadata("size_per_rank", perRank)
@@ -130,6 +140,8 @@ func Run(cfg Config) (*caliper.Profile, error) {
 			Workers:  cfg.Workers,
 			GPUBlock: cfg.GPUBlock,
 			Ranks:    minInt(ranks, 8),
+			Schedule: cfg.Schedule,
+			Pool:     cfg.Pool,
 		}
 		if err := runKernel(rec, k, rp, cfg, cpuModel, gpuDev, sizeNode, ranks); err != nil {
 			return nil, err
