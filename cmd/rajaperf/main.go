@@ -13,8 +13,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"strings"
 
 	"rajaperf/internal/caliper"
@@ -25,7 +28,13 @@ import (
 	"rajaperf/internal/suite"
 )
 
+// main delegates to realMain so the deferred cleanups — pool shutdown
+// and CPU-profile flush — run before the process exits with a status.
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
 		machName = flag.String("machine", "SPR-DDR", "target machine: SPR-DDR, SPR-HBM, P9-V100, EPYC-MI250X, Host")
 		variant  = flag.String("variant", "", "variant to run (default: the machine's Table III variant)")
@@ -42,6 +51,10 @@ func main() {
 		list     = flag.Bool("list", false, "list registered kernels and exit")
 		doReport = flag.Bool("report", false, "run kernels on the host across variants and print the timing + checksum reports")
 		scaling  = flag.Bool("scaling", false, "run a strong-scaling study of RAJA_OpenMP on the host (1/2/4/8 workers)")
+		services = flag.String("services", "", "comma-separated measurement services: "+strings.Join(caliper.ServiceNames(), ", "))
+		traceOut = flag.String("trace", "", "write a Chrome-trace JSON event trace to this path (enables the trace service)")
+		cpuprof  = flag.String("pprof", "", "write a CPU profile of the run to this path")
+		pprofSrv = flag.String("pprof-http", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's duration")
 	)
 	flag.Parse()
 
@@ -53,21 +66,54 @@ func main() {
 	sched, ok := raja.ParseSchedule(*schedule)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "rajaperf: unknown schedule %q\n", *schedule)
-		os.Exit(2)
+		return 2
+	}
+
+	svc, err := caliper.ParseServices(*services)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rajaperf:", err)
+		return 2
+	}
+	if *traceOut != "" {
+		svc[caliper.ServiceTrace] = true
+	}
+
+	// Profiling of the tool itself: -pprof writes a CPU profile of
+	// whatever mode runs below; -pprof-http exposes the live pprof
+	// endpoints for the run's duration.
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rajaperf:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "rajaperf:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *pprofSrv != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofSrv, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "rajaperf: pprof-http:", err)
+			}
+		}()
 	}
 
 	if *list {
 		for _, n := range kernels.Names() {
 			fmt.Println(n)
 		}
-		return
+		return 0
 	}
 	if *doReport {
 		if err := runReport(*kerns, *size, *reps, *workers, sched); err != nil {
 			fmt.Fprintln(os.Stderr, "rajaperf:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	if *scaling {
 		names := kernels.Names()
@@ -82,17 +128,18 @@ func main() {
 		rows, err := report.ScalingStudy(names, counts, sz, *reps, sched)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rajaperf:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Print(report.RenderScaling(rows, counts))
-		return
+		return 0
 	}
 
 	if err := run(*machName, *variant, *block, *size, *reps, *workers,
-		sched, *kerns, *group, *feature, *execute, *outdir); err != nil {
+		sched, svc, *traceOut, *kerns, *group, *feature, *execute, *outdir); err != nil {
 		fmt.Fprintln(os.Stderr, "rajaperf:", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // runReport executes the classic timing/checksum reports on the host.
@@ -119,7 +166,8 @@ func runReport(kerns string, size, reps, workers int, sched raja.Schedule) error
 }
 
 func run(machName, variant string, block, size, reps, workers int,
-	sched raja.Schedule, kerns, group, feature string, execute bool, outdir string) error {
+	sched raja.Schedule, svc caliper.Services, traceOut string,
+	kerns, group, feature string, execute bool, outdir string) error {
 
 	m, err := machine.ByName(machName)
 	if err != nil {
@@ -167,6 +215,14 @@ func run(machName, variant string, block, size, reps, workers int,
 		}
 	}
 
+	var tracer *caliper.Tracer
+	if svc.Enabled(caliper.ServiceTrace) {
+		tracer = caliper.NewTracer(raja.Default().Lanes(), caliper.DefaultTraceEvents)
+		if traceOut == "" {
+			traceOut = filepath.Join(outdir, "trace.json")
+		}
+	}
+
 	p, err := suite.Run(suite.Config{
 		Machine:     m,
 		Variant:     v,
@@ -177,6 +233,8 @@ func run(machName, variant string, block, size, reps, workers int,
 		Kernels:     names,
 		Execute:     execute,
 		Schedule:    sched,
+		Services:    svc,
+		Tracer:      tracer,
 	})
 	if err != nil {
 		return err
@@ -189,5 +247,15 @@ func run(machName, variant string, block, size, reps, workers int,
 	}
 	fmt.Printf("ran %v kernels (skipped %v) on %s, wrote %s\n",
 		p.Metadata["kernels_run"], p.Metadata["kernels_skipped"], m, path)
+	if tracer != nil {
+		if err := tracer.WriteFile(traceOut); err != nil {
+			return err
+		}
+		if d := tracer.Dropped(); d > 0 {
+			fmt.Printf("wrote %s (ring buffer full: %d events dropped)\n", traceOut, d)
+		} else {
+			fmt.Printf("wrote %s\n", traceOut)
+		}
+	}
 	return nil
 }

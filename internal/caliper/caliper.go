@@ -5,6 +5,25 @@
 // metadata comes from package adiak, and each run serializes to one
 // profile file (the ".cali" analog, encoded as JSON) that package thicket
 // reads back for analysis.
+//
+// Measurement is organized as runtime-configurable services, Caliper's
+// CALI_CONFIG shape: counter sources (see CounterSource; the "runtime"
+// source is the PAPI analog) are sampled at region boundaries and their
+// deltas recorded as per-region metrics, a streaming event-trace service
+// (Tracer) emits Chrome-trace events, and the executor's load-imbalance
+// service is enabled through the same Services set. Overhead of the
+// enabled services is self-measured by CalibrateOverhead.
+//
+// # Concurrency contract
+//
+// Region structure is per-driver: Begin, End, and Region must be called,
+// properly nested, from the single goroutine driving the run (Caliper's
+// per-thread annotation stacks). Metric recording — SetMetric, AddMetric,
+// SetMetricAt — and AddMetadata are safe to call from any goroutine at
+// any time. Counter sources are sampled only from the driving goroutine,
+// outside the recorder's locks, so a slow source never blocks concurrent
+// metric writers. Profile may be called concurrently with metric and
+// metadata writers; it snapshots both under their locks.
 package caliper
 
 import (
@@ -35,62 +54,136 @@ func (r *Record) Node() string {
 // PathKey returns the joined path string.
 func (r *Record) PathKey() string { return strings.Join(r.Path, PathSep) }
 
-// Recorder collects annotations and metrics for one run. It is safe for
-// concurrent metric recording, though region begin/end must nest properly
-// on the goroutine driving the run (as in Caliper's per-thread stacks).
+// Config selects the measurement services a Recorder runs with.
+type Config struct {
+	// Sources are the counter sources sampled at region boundaries;
+	// each source's counters become per-region metrics (deltas for
+	// cumulative counters, End-time values for gauges).
+	Sources []CounterSource
+	// Tracer, when non-nil, receives one complete event per closed
+	// region on the driver track.
+	Tracer *Tracer
+}
+
+// frame is the per-open-region state pushed by Begin: the start time and
+// the counter sample taken at entry (nil when no sources are enabled).
+type frame struct {
+	start  time.Time
+	sample []float64
+}
+
+// Recorder collects annotations and metrics for one run under a set of
+// measurement services. See the package comment for the concurrency
+// contract.
 type Recorder struct {
-	mu       sync.Mutex
-	stack    []string
-	starts   []time.Time
-	records  map[string]*Record
-	order    []string
+	cfg      Config
+	counters []Counter // flattened across cfg.Sources, in source order
+
+	// mu guards the region stack and the record table. It is held only
+	// for the in-memory bookkeeping of each operation — never across
+	// counter sampling or trace emission.
+	mu      sync.Mutex
+	stack   []string
+	frames  []frame
+	records map[string]*Record
+	order   []string
+
+	// metaMu guards run metadata separately, so metadata writers never
+	// contend with the measurement path.
+	metaMu   sync.Mutex
 	metadata map[string]any
 }
 
-// NewRecorder returns an empty recorder.
-func NewRecorder() *Recorder {
-	return &Recorder{
+// NewRecorder returns an empty recorder with no services enabled.
+func NewRecorder() *Recorder { return NewRecorderWith(Config{}) }
+
+// NewRecorderWith returns an empty recorder with the given measurement
+// services enabled.
+func NewRecorderWith(cfg Config) *Recorder {
+	c := &Recorder{
+		cfg:      cfg,
 		records:  map[string]*Record{},
 		metadata: map[string]any{},
 	}
+	for _, src := range cfg.Sources {
+		c.counters = append(c.counters, src.Counters()...)
+	}
+	return c
 }
+
+// Config returns the recorder's service configuration.
+func (c *Recorder) Config() Config { return c.cfg }
 
 // AddMetadata attaches a run attribute (Adiak-style) to the profile.
 func (c *Recorder) AddMetadata(key string, value any) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.metaMu.Lock()
 	c.metadata[key] = value
+	c.metaMu.Unlock()
+}
+
+// sampleCounters reads every enabled counter source into one flattened
+// sample. Called from the driving goroutine outside c.mu.
+func (c *Recorder) sampleCounters() []float64 {
+	if len(c.counters) == 0 {
+		return nil
+	}
+	buf := make([]float64, len(c.counters))
+	off := 0
+	for _, src := range c.cfg.Sources {
+		n := len(src.Counters())
+		src.Sample(buf[off : off+n])
+		off += n
+	}
+	return buf
 }
 
 // Begin opens a region. Regions nest: a Begin inside an open region
-// creates a child node.
+// creates a child node. Counter sources are sampled on entry.
 func (c *Recorder) Begin(name string) {
+	sample := c.sampleCounters()
+	now := time.Now()
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.stack = append(c.stack, name)
-	c.starts = append(c.starts, time.Now())
+	c.frames = append(c.frames, frame{start: now, sample: sample})
 	c.ensureLocked(c.stack)
+	c.mu.Unlock()
 }
 
 // End closes the innermost open region, accumulating its inclusive wall
-// time into the "time" metric and bumping "count". It returns an error if
-// name does not match the innermost region (misnested annotations).
+// time into the "time" metric, bumping "count", and recording the
+// region's counter-source deltas. It returns an error if name does not
+// match the innermost region (misnested annotations).
 func (c *Recorder) End(name string) error {
+	sample := c.sampleCounters()
+	now := time.Now()
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if len(c.stack) == 0 {
+		c.mu.Unlock()
 		return fmt.Errorf("caliper: End(%q) with no open region", name)
 	}
 	top := c.stack[len(c.stack)-1]
 	if top != name {
+		c.mu.Unlock()
 		return fmt.Errorf("caliper: End(%q) does not match open region %q", name, top)
 	}
-	elapsed := time.Since(c.starts[len(c.starts)-1]).Seconds()
+	f := c.frames[len(c.frames)-1]
+	elapsed := now.Sub(f.start)
 	rec := c.ensureLocked(c.stack)
-	rec.Metrics["time"] += elapsed
+	rec.Metrics["time"] += elapsed.Seconds()
 	rec.Metrics["count"]++
+	for i, ctr := range c.counters {
+		if ctr.Gauge {
+			rec.Metrics[ctr.Name] = sample[i]
+		} else {
+			rec.Metrics[ctr.Name] += sample[i] - f.sample[i]
+		}
+	}
 	c.stack = c.stack[:len(c.stack)-1]
-	c.starts = c.starts[:len(c.starts)-1]
+	c.frames = c.frames[:len(c.frames)-1]
+	c.mu.Unlock()
+	if tr := c.cfg.Tracer; tr != nil {
+		tr.RegionEvent(name, f.start, elapsed)
+	}
 	return nil
 }
 
@@ -105,23 +198,23 @@ func (c *Recorder) Region(name string, f func()) {
 // root pseudo-region if none is open. Repeated calls overwrite.
 func (c *Recorder) SetMetric(metric string, v float64) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	path := c.stack
 	if len(path) == 0 {
 		path = []string{"main"}
 	}
 	c.ensureLocked(path).Metrics[metric] = v
+	c.mu.Unlock()
 }
 
 // AddMetric accumulates metric value v on the innermost open region.
 func (c *Recorder) AddMetric(metric string, v float64) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	path := c.stack
 	if len(path) == 0 {
 		path = []string{"main"}
 	}
 	c.ensureLocked(path).Metrics[metric] += v
+	c.mu.Unlock()
 }
 
 // SetMetricAt records metric v on an explicit region path, creating the
@@ -129,8 +222,16 @@ func (c *Recorder) AddMetric(metric string, v float64) {
 // counters to kernel nodes after the run.
 func (c *Recorder) SetMetricAt(path []string, metric string, v float64) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.ensureLocked(path).Metrics[metric] = v
+	c.mu.Unlock()
+}
+
+// AddMetricAt accumulates metric v on an explicit region path, creating
+// the node if needed.
+func (c *Recorder) AddMetricAt(path []string, metric string, v float64) {
+	c.mu.Lock()
+	c.ensureLocked(path).Metrics[metric] += v
+	c.mu.Unlock()
 }
 
 // ensureLocked returns the record for path, creating it if missing.
@@ -157,15 +258,29 @@ func (c *Recorder) OpenDepth() int {
 	return len(c.stack)
 }
 
+// RegionCount returns the total number of closed region instances (the
+// sum of every node's "count" metric) — the divisor overhead accounting
+// scales by.
+func (c *Recorder) RegionCount() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n float64
+	for _, r := range c.records {
+		n += r.Metrics["count"]
+	}
+	return n
+}
+
 // Profile snapshots the recorder into a serializable profile. Records
 // appear in first-touch order; metadata keys serialize sorted.
 func (c *Recorder) Profile() *Profile {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	p := &Profile{Metadata: map[string]any{}}
+	c.metaMu.Lock()
 	for k, v := range c.metadata {
 		p.Metadata[k] = v
 	}
+	c.metaMu.Unlock()
+	c.mu.Lock()
 	for _, key := range c.order {
 		r := c.records[key]
 		cp := Record{
@@ -177,6 +292,7 @@ func (c *Recorder) Profile() *Profile {
 		}
 		p.Records = append(p.Records, cp)
 	}
+	c.mu.Unlock()
 	return p
 }
 

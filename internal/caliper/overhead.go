@@ -1,0 +1,68 @@
+package caliper
+
+import "time"
+
+// Overhead self-measurement: real Caliper ships papers' favorite
+// question — "what did the measurement cost?" — as a calibration of its
+// own annotation path. We reproduce that: time a batch of empty regions
+// under the run's exact service configuration and report the
+// per-region instrumentation cost, which the suite scales by the run's
+// region count into an overhead fraction recorded in metadata.
+
+// Overhead is the result of one calibration pass.
+type Overhead struct {
+	// PerRegionSec is the mean wall cost of one empty Begin/End pair
+	// under the calibrated service set.
+	PerRegionSec float64
+	// Samples is how many empty regions the calibration timed.
+	Samples int
+}
+
+// DefaultOverheadSamples is the calibration batch size used when
+// CalibrateOverhead's samples argument is zero or negative.
+const DefaultOverheadSamples = 2000
+
+// CalibrateOverhead measures the recorder's own per-region cost: it
+// builds a scratch recorder with the same counter sources (and, when
+// tracing is on, a scratch tracer of matching shape, so trace emission
+// is paid but the real trace is not polluted), then times empty
+// Begin/End pairs. The scratch recorder shares source instances with c,
+// so run it from the goroutine driving c, not concurrently with it.
+func (c *Recorder) CalibrateOverhead(samples int) Overhead {
+	if samples <= 0 {
+		samples = DefaultOverheadSamples
+	}
+	cfg := Config{Sources: c.cfg.Sources}
+	if c.cfg.Tracer != nil {
+		cfg.Tracer = NewTracer(1, samples+1)
+	}
+	scratch := NewRecorderWith(cfg)
+	scratch.Region("cali.calibrate", func() {
+		start := time.Now()
+		for i := 0; i < samples; i++ {
+			scratch.Begin("cali.empty")
+			scratch.End("cali.empty") //nolint:errcheck // always matched
+		}
+		elapsed := time.Since(start).Seconds()
+		scratch.SetMetric("per_region_sec", elapsed/float64(samples))
+	})
+	rec := scratch.Profile().Find("cali.calibrate")
+	return Overhead{
+		PerRegionSec: rec.Metrics["per_region_sec"],
+		Samples:      samples,
+	}
+}
+
+// Fraction estimates the share of wallSec spent on instrumentation for
+// a run that closed regionCount regions, clamped to [0, 1]. Zero wall
+// time yields zero: no basis for a fraction.
+func (o Overhead) Fraction(regionCount float64, wallSec float64) float64 {
+	if wallSec <= 0 || regionCount <= 0 {
+		return 0
+	}
+	f := o.PerRegionSec * regionCount / wallSec
+	if f > 1 {
+		return 1
+	}
+	return f
+}

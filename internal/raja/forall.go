@@ -3,6 +3,7 @@ package raja
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Ctx carries per-iteration execution context to kernel bodies. Worker is
@@ -96,7 +97,7 @@ func forallStatic(pool *Pool, workers int, r Range, body Body) {
 	if pool.forallStatic(r, body, chunks, chunk) {
 		return
 	}
-	spawnForallStatic(r, body, chunks, chunk)
+	spawnForallStatic(r, body, chunks, chunk, pool.activeInstr(), pool.activeTrace())
 }
 
 // forallDynamic distributes fixed-size blocks across workers from a
@@ -127,7 +128,7 @@ func forallDynamic(pool *Pool, workers, block int, r Range, body Body) {
 	if pool.forallDynamic(r, body, block, workers) {
 		return
 	}
-	spawnForallDynamic(r, body, block, workers)
+	spawnForallDynamic(r, body, block, workers, pool.activeInstr(), pool.activeTrace())
 }
 
 // forallGuided hands each worker exponentially shrinking grabs — half the
@@ -160,12 +161,13 @@ func forallGuided(pool *Pool, workers, minGrab int, r Range, body Body) {
 	if pool.forallGuided(r, body, minGrab, workers) {
 		return
 	}
-	spawnForallGuided(r, body, minGrab, workers)
+	spawnForallGuided(r, body, minGrab, workers, pool.activeInstr(), pool.activeTrace())
 }
 
 // spawnForallStatic is the goroutine-per-chunk static path, used when the
-// pool is unavailable and as the pre-pool baseline in benchmarks.
-func spawnForallStatic(r Range, body Body, chunks, chunk int) {
+// pool is unavailable and as the pre-pool baseline in benchmarks. in and
+// tr are the pool's observability services, nil when disabled.
+func spawnForallStatic(r Range, body Body, chunks, chunk int, in *Instr, tr LaneTrace) {
 	var wg sync.WaitGroup
 	for w := 0; w < chunks; w++ {
 		lo := r.Begin + w*chunk
@@ -179,9 +181,25 @@ func spawnForallStatic(r Range, body Body, chunks, chunk int) {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			if in != nil {
+				in.wake(w)
+			}
+			var start time.Time
+			if in != nil || tr != nil {
+				start = time.Now()
+			}
 			c := Ctx{Worker: w, Block: w}
 			for i := lo; i < hi; i++ {
 				body(c, i)
+			}
+			if in != nil || tr != nil {
+				d := time.Since(start)
+				if in != nil {
+					in.granule(w, w, d)
+				}
+				if tr != nil {
+					tr(w, granuleChunk, start, d)
+				}
 			}
 		}(w, lo, hi)
 	}
@@ -190,7 +208,7 @@ func spawnForallStatic(r Range, body Body, chunks, chunk int) {
 
 // spawnForallDynamic is the goroutine-per-worker dynamic path, used when
 // the pool is unavailable and as the pre-pool baseline in benchmarks.
-func spawnForallDynamic(r Range, body Body, block, workers int) {
+func spawnForallDynamic(r Range, body Body, block, workers int, in *Instr, tr LaneTrace) {
 	n := r.Len()
 	blocks := (n + block - 1) / block
 	var (
@@ -201,6 +219,10 @@ func spawnForallDynamic(r Range, body Body, block, workers int) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			if in != nil {
+				in.wake(w)
+			}
+			measured := in != nil || tr != nil
 			c := Ctx{Worker: w}
 			for {
 				b := int(cursor.Add(1) - 1)
@@ -212,9 +234,22 @@ func spawnForallDynamic(r Range, body Body, block, workers int) {
 				if hi > r.End {
 					hi = r.End
 				}
+				var start time.Time
+				if measured {
+					start = time.Now()
+				}
 				c.Block = b
 				for i := lo; i < hi; i++ {
 					body(c, i)
+				}
+				if measured {
+					d := time.Since(start)
+					if in != nil {
+						in.granule(w, b%workers, d)
+					}
+					if tr != nil {
+						tr(w, granuleBlock, start, d)
+					}
 				}
 			}
 		}(w)
@@ -224,7 +259,7 @@ func spawnForallDynamic(r Range, body Body, block, workers int) {
 
 // spawnForallGuided is the goroutine-per-worker guided path, used when
 // the pool is unavailable.
-func spawnForallGuided(r Range, body Body, minGrab, workers int) {
+func spawnForallGuided(r Range, body Body, minGrab, workers int, in *Instr, tr LaneTrace) {
 	n := int64(r.Len())
 	var (
 		wg     sync.WaitGroup
@@ -235,6 +270,10 @@ func spawnForallGuided(r Range, body Body, minGrab, workers int) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			if in != nil {
+				in.wake(w)
+			}
+			measured := in != nil || tr != nil
 			c := Ctx{Worker: w}
 			for {
 				cur := cursor.Load()
@@ -254,8 +293,21 @@ func spawnForallGuided(r Range, body Body, minGrab, workers int) {
 				c.Block = int(grabs.Add(1) - 1)
 				lo := r.Begin + int(cur)
 				hi := lo + int(take)
+				var start time.Time
+				if measured {
+					start = time.Now()
+				}
 				for i := lo; i < hi; i++ {
 					body(c, i)
+				}
+				if measured {
+					d := time.Since(start)
+					if in != nil {
+						in.granule(w, c.Block%workers, d)
+					}
+					if tr != nil {
+						tr(w, granuleGrab, start, d)
+					}
 				}
 			}
 		}(w)

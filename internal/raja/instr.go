@@ -1,0 +1,213 @@
+package raja
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Per-lane executor instrumentation — the load-imbalance measurement
+// service of the Caliper layer. When enabled on a Pool, every scheduling
+// granule (static chunk, dynamic block, guided grab) accumulates busy
+// time and counts into a padded per-lane slot, on both the pooled and
+// the spawn-fallback dispatch paths. The suite snapshots the counters
+// around each kernel run and derives max/avg lane time and imbalance
+// percentage, the quantities the paper's scalability analysis needs and
+// a plain wall clock cannot see.
+
+// LaneTrace is the hook signature the trace service plugs into the
+// executor: one call per scheduling granule, naming the granule kind
+// ("chunk", "block", or "grab"). Implementations must be safe for
+// concurrent calls from every lane.
+type LaneTrace func(lane int, name string, start time.Time, dur time.Duration)
+
+// Granule kind names reported through LaneTrace. Constants, so the hot
+// path never formats strings.
+const (
+	granuleChunk = "chunk"
+	granuleBlock = "block"
+	granuleGrab  = "grab"
+)
+
+// laneStat is one lane's counters, padded to a cache line so lanes never
+// false-share. All fields are atomics: the pooled path has one writer
+// per slot, but spawn fallbacks may fold several goroutines onto one
+// slot concurrently.
+type laneStat struct {
+	busyNS   atomic.Int64 // time spent executing granule bodies
+	granules atomic.Int64 // scheduling granules executed
+	steals   atomic.Int64 // granules whose static owner is another lane
+	wakes    atomic.Int64 // dispatches this lane participated in
+	_        [4]int64
+}
+
+// Instr is a Pool's per-lane statistics block.
+type Instr struct {
+	lanes []laneStat
+}
+
+func newInstr(lanes int) *Instr {
+	if lanes < 1 {
+		lanes = 1
+	}
+	return &Instr{lanes: make([]laneStat, lanes)}
+}
+
+// slot folds a lane index onto an instrumented slot; spawn fallbacks can
+// report lane indices past the pool's lane count.
+func (in *Instr) slot(lane int) *laneStat {
+	if lane < 0 {
+		lane = 0
+	}
+	return &in.lanes[lane%len(in.lanes)]
+}
+
+// granule records one executed scheduling granule: lane ran it, owner is
+// the lane that would have run it under a static round-robin assignment
+// (granule ordinal mod dispatch lanes, computed by the caller), so
+// owner != lane counts as a steal — the work-displacement signal of the
+// dynamic and guided schedules.
+func (in *Instr) granule(lane, owner int, dur time.Duration) {
+	s := in.slot(lane)
+	s.busyNS.Add(dur.Nanoseconds())
+	s.granules.Add(1)
+	if owner != lane {
+		s.steals.Add(1)
+	}
+}
+
+// wake records one dispatch participation.
+func (in *Instr) wake(lane int) { in.slot(lane).wakes.Add(1) }
+
+// LaneSnapshot is one lane's cumulative counters at a point in time.
+type LaneSnapshot struct {
+	Busy     time.Duration // total granule execution time
+	Granules int64         // granules executed
+	Steals   int64         // granules stolen from another lane's share
+	Wakes    int64         // dispatches participated in
+}
+
+// snapshot copies the counters. Safe concurrently with recording; a
+// snapshot taken mid-dispatch is a consistent-enough point-in-time view
+// (each field is individually atomic).
+func (in *Instr) snapshot() []LaneSnapshot {
+	out := make([]LaneSnapshot, len(in.lanes))
+	for i := range in.lanes {
+		s := &in.lanes[i]
+		out[i] = LaneSnapshot{
+			Busy:     time.Duration(s.busyNS.Load()),
+			Granules: s.granules.Load(),
+			Steals:   s.steals.Load(),
+			Wakes:    s.wakes.Load(),
+		}
+	}
+	return out
+}
+
+// Instrument enables (or disables) per-lane statistics collection on the
+// pool. Enabling is idempotent and keeps accumulated counters; disabling
+// stops collection but preserves the last snapshot. Concurrent dispatches
+// observe the change at their next acquire.
+func (p *Pool) Instrument(on bool) {
+	if on {
+		p.instr.CompareAndSwap(nil, newInstr(p.lanes))
+		p.instrOn.Store(true)
+	} else {
+		p.instrOn.Store(false)
+	}
+}
+
+// InstrSnapshot returns the pool's cumulative per-lane counters, or nil
+// if Instrument(true) was never called. Deltas of two snapshots bracket
+// a measurement interval.
+func (p *Pool) InstrSnapshot() []LaneSnapshot {
+	in := p.instr.Load()
+	if in == nil {
+		return nil
+	}
+	return in.snapshot()
+}
+
+// activeInstr returns the stats block if collection is enabled.
+func (p *Pool) activeInstr() *Instr {
+	if !p.instrOn.Load() {
+		return nil
+	}
+	return p.instr.Load()
+}
+
+// SetLaneTrace installs (or, with nil, removes) the per-granule trace
+// hook. The hook must be safe for concurrent calls; it is read
+// atomically by every dispatch, so installation is safe while the pool
+// is running.
+func (p *Pool) SetLaneTrace(fn LaneTrace) {
+	if fn == nil {
+		p.trace.Store(nil)
+		return
+	}
+	p.trace.Store(&fn)
+}
+
+// activeTrace returns the installed lane-trace hook, or nil.
+func (p *Pool) activeTrace() LaneTrace {
+	if fn := p.trace.Load(); fn != nil {
+		return *fn
+	}
+	return nil
+}
+
+// Imbalance summarizes a per-lane busy-time distribution over a
+// measurement interval — the OpenMP-style load-imbalance metrics
+// attached to each kernel's Caliper record.
+type Imbalance struct {
+	Lanes    int           // lanes that did any work in the interval
+	Max      time.Duration // busiest lane
+	Min      time.Duration // least-busy participating lane
+	Avg      time.Duration // mean over participating lanes
+	Pct      float64       // (max-avg)/max * 100; 0 = perfectly balanced
+	Granules int64         // granules executed in the interval
+	Steals   int64         // granules run off their static owner lane
+	Wakes    int64         // dispatch participations in the interval
+}
+
+// ComputeImbalance derives imbalance metrics from two instrumentation
+// snapshots bracketing a measurement interval (before may be nil for
+// "since collection began"). Lanes with zero busy time and zero granules
+// did not participate and are excluded, so a 4-lane pool running a
+// 2-lane dispatch is not reported as 50% imbalanced by construction.
+func ComputeImbalance(before, after []LaneSnapshot) Imbalance {
+	var im Imbalance
+	var total time.Duration
+	for i := range after {
+		d := after[i]
+		if before != nil && i < len(before) {
+			b := before[i]
+			d = LaneSnapshot{
+				Busy:     d.Busy - b.Busy,
+				Granules: d.Granules - b.Granules,
+				Steals:   d.Steals - b.Steals,
+				Wakes:    d.Wakes - b.Wakes,
+			}
+		}
+		im.Granules += d.Granules
+		im.Steals += d.Steals
+		im.Wakes += d.Wakes
+		if d.Busy <= 0 && d.Granules == 0 {
+			continue
+		}
+		if im.Lanes == 0 || d.Busy > im.Max {
+			im.Max = d.Busy
+		}
+		if im.Lanes == 0 || d.Busy < im.Min {
+			im.Min = d.Busy
+		}
+		total += d.Busy
+		im.Lanes++
+	}
+	if im.Lanes > 0 {
+		im.Avg = total / time.Duration(im.Lanes)
+	}
+	if im.Max > 0 {
+		im.Pct = 100 * float64(im.Max-im.Avg) / float64(im.Max)
+	}
+	return im
+}

@@ -1,0 +1,212 @@
+package raja
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// triangularBody returns a body whose per-index cost grows linearly with
+// the index — deliberately skewed work that static chunking must
+// misbalance (the last chunk holds the most expensive indices) and
+// dynamic/guided scheduling should smooth out. The cost is a sleep, not
+// a spin: sleeping lanes release the CPU, so the lanes genuinely overlap
+// and per-lane busy time reflects assigned work even on a single-core
+// CI machine where spinning lanes would just time-slice.
+func triangularBody(sink *[]float64) Body {
+	y := *sink
+	return func(c Ctx, i int) {
+		time.Sleep(time.Duration(i) * 100 * time.Microsecond)
+		y[i] = 1
+	}
+}
+
+// runSkewed executes the triangular workload under sched on a freshly
+// instrumented pool and returns the measured imbalance. When spawned is
+// true the pool is closed first, forcing the spawn-fallback dispatch
+// path (which must be instrumented identically).
+func runSkewed(t *testing.T, sched Schedule, spawned bool) Imbalance {
+	t.Helper()
+	const lanes, n = 4, 64
+	pool := NewPool(lanes)
+	defer pool.Close()
+	pool.Instrument(true)
+	if spawned {
+		pool.Close()
+	}
+	y := make([]float64, n)
+	p := Policy{Kind: Par, Workers: lanes, Schedule: sched, Block: 4, Pool: pool}
+	before := pool.InstrSnapshot()
+	Forall(p, n, triangularBody(&y))
+	after := pool.InstrSnapshot()
+	for i := range y {
+		if y[i] == 0 {
+			t.Fatalf("schedule %v: index %d not executed", sched, i)
+		}
+	}
+	return ComputeImbalance(before, after)
+}
+
+// TestImbalanceSkewedSchedules is the load-imbalance conformance check:
+// triangular work shows large imbalance under static chunking that
+// shrinks under dynamic and guided scheduling, on both the pooled and
+// the spawn-fallback paths.
+func TestImbalanceSkewedSchedules(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive imbalance measurement")
+	}
+	for _, path := range []struct {
+		name    string
+		spawned bool
+	}{{"pooled", false}, {"spawned", true}} {
+		t.Run(path.name, func(t *testing.T) {
+			static := runSkewed(t, ScheduleStatic, path.spawned)
+			dynamic := runSkewed(t, ScheduleDynamic, path.spawned)
+			guided := runSkewed(t, ScheduleGuided, path.spawned)
+			t.Logf("%s: static %.1f%%, dynamic %.1f%%, guided %.1f%%",
+				path.name, static.Pct, dynamic.Pct, guided.Pct)
+			// Triangular work over 4 static chunks puts ~7x more work on
+			// the last lane than the first: max/avg = 1.75, i.e. ~43%
+			// imbalance. Allow wide scheduling noise.
+			if static.Pct < 20 {
+				t.Errorf("static imbalance = %.1f%%, want the skew visible (>= 20%%)", static.Pct)
+			}
+			if dynamic.Pct >= static.Pct {
+				t.Errorf("dynamic imbalance %.1f%% did not shrink below static %.1f%%",
+					dynamic.Pct, static.Pct)
+			}
+			if guided.Pct >= static.Pct {
+				t.Errorf("guided imbalance %.1f%% did not shrink below static %.1f%%",
+					guided.Pct, static.Pct)
+			}
+			if static.Steals != 0 {
+				t.Errorf("static scheduling reported %d steals, want 0", static.Steals)
+			}
+		})
+	}
+}
+
+// TestInstrGranuleAccounting pins the granule, wake, and steal counters
+// to the schedule arithmetic.
+func TestInstrGranuleAccounting(t *testing.T) {
+	const lanes = 4
+	pool := NewPool(lanes)
+	defer pool.Close()
+	pool.Instrument(true)
+	y := make([]float64, 1000)
+	body := func(c Ctx, i int) { y[i]++ }
+
+	before := pool.InstrSnapshot()
+	Forall(Policy{Kind: Par, Workers: lanes, Pool: pool}, 1000, body)
+	im := ComputeImbalance(before, pool.InstrSnapshot())
+	if im.Granules != lanes {
+		t.Errorf("static granules = %d, want %d chunks", im.Granules, lanes)
+	}
+	if im.Steals != 0 {
+		t.Errorf("static steals = %d, want 0", im.Steals)
+	}
+	if im.Wakes != lanes {
+		t.Errorf("static wakes = %d, want %d", im.Wakes, lanes)
+	}
+
+	before = pool.InstrSnapshot()
+	Forall(Policy{Kind: GPU, Workers: lanes, Block: 100, Pool: pool}, 1000, body)
+	im = ComputeImbalance(before, pool.InstrSnapshot())
+	if im.Granules != 10 {
+		t.Errorf("dynamic granules = %d, want 10 blocks", im.Granules)
+	}
+	if im.Wakes != lanes {
+		t.Errorf("dynamic wakes = %d, want %d", im.Wakes, lanes)
+	}
+}
+
+// TestInstrDisabledCostsNothing verifies the uninstrumented path records
+// nothing and InstrSnapshot stays nil until Instrument(true).
+func TestInstrDisabledCostsNothing(t *testing.T) {
+	pool := NewPool(2)
+	defer pool.Close()
+	if snap := pool.InstrSnapshot(); snap != nil {
+		t.Fatalf("snapshot before Instrument = %v, want nil", snap)
+	}
+	y := make([]float64, 100)
+	Forall(Policy{Kind: Par, Workers: 2, Pool: pool}, 100, func(c Ctx, i int) { y[i]++ })
+	if snap := pool.InstrSnapshot(); snap != nil {
+		t.Fatalf("uninstrumented dispatch produced a snapshot: %v", snap)
+	}
+	pool.Instrument(true)
+	Forall(Policy{Kind: Par, Workers: 2, Pool: pool}, 100, func(c Ctx, i int) { y[i]++ })
+	im := ComputeImbalance(nil, pool.InstrSnapshot())
+	if im.Granules == 0 {
+		t.Error("instrumented dispatch recorded no granules")
+	}
+	pool.Instrument(false)
+	before := pool.InstrSnapshot()
+	Forall(Policy{Kind: Par, Workers: 2, Pool: pool}, 100, func(c Ctx, i int) { y[i]++ })
+	im = ComputeImbalance(before, pool.InstrSnapshot())
+	if im.Granules != 0 {
+		t.Errorf("disabled instrumentation still recorded %d granules", im.Granules)
+	}
+}
+
+// TestComputeImbalanceUnit checks the imbalance arithmetic directly.
+func TestComputeImbalanceUnit(t *testing.T) {
+	after := []LaneSnapshot{
+		{Busy: 4 * time.Second, Granules: 4},
+		{Busy: 2 * time.Second, Granules: 2},
+		{}, // idle lane: excluded
+	}
+	im := ComputeImbalance(nil, after)
+	if im.Lanes != 2 {
+		t.Errorf("lanes = %d, want 2 (idle excluded)", im.Lanes)
+	}
+	if im.Max != 4*time.Second || im.Min != 2*time.Second || im.Avg != 3*time.Second {
+		t.Errorf("max/min/avg = %v/%v/%v", im.Max, im.Min, im.Avg)
+	}
+	if im.Pct != 25 {
+		t.Errorf("pct = %v, want 25", im.Pct)
+	}
+	balanced := ComputeImbalance(nil, []LaneSnapshot{
+		{Busy: time.Second, Granules: 1}, {Busy: time.Second, Granules: 1},
+	})
+	if balanced.Pct != 0 {
+		t.Errorf("balanced pct = %v, want 0", balanced.Pct)
+	}
+	if empty := ComputeImbalance(nil, nil); empty.Lanes != 0 || empty.Pct != 0 {
+		t.Errorf("empty imbalance = %+v", empty)
+	}
+}
+
+// TestLaneTraceHook verifies the per-granule trace hook fires once per
+// scheduling granule on pooled and spawned paths, concurrently safely.
+func TestLaneTraceHook(t *testing.T) {
+	const lanes = 4
+	pool := NewPool(lanes)
+	defer pool.Close()
+	var events atomic.Int64
+	pool.SetLaneTrace(func(lane int, name string, start time.Time, dur time.Duration) {
+		if name != granuleBlock {
+			t.Errorf("granule kind = %q, want %q", name, granuleBlock)
+		}
+		events.Add(1)
+	})
+	y := make([]float64, 1000)
+	body := func(c Ctx, i int) { y[i]++ }
+	Forall(Policy{Kind: GPU, Workers: lanes, Block: 100, Pool: pool}, 1000, body)
+	if got := events.Load(); got != 10 {
+		t.Errorf("pooled trace events = %d, want 10 blocks", got)
+	}
+
+	events.Store(0)
+	pool.Close() // force the spawn fallback
+	Forall(Policy{Kind: GPU, Workers: lanes, Block: 100, Pool: pool}, 1000, body)
+	if got := events.Load(); got != 10 {
+		t.Errorf("spawned trace events = %d, want 10 blocks", got)
+	}
+
+	pool.SetLaneTrace(nil)
+	events.Store(0)
+	Forall(Policy{Kind: GPU, Workers: lanes, Block: 100, Pool: pool}, 1000, body)
+	if got := events.Load(); got != 0 {
+		t.Errorf("removed hook still fired %d times", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Schedule selects how a parallel policy maps iterations onto executor
@@ -80,6 +81,15 @@ type Pool struct {
 	workers []poolWorker
 	done    chan struct{}
 	task    poolTask
+
+	// Observability services (see instr.go): per-lane statistics for
+	// the load-imbalance service and the per-granule trace hook. Both
+	// are read atomically at dispatch time, so enabling them is safe
+	// while the pool is running, and both apply to the spawn-fallback
+	// paths as well as pooled dispatches.
+	instr   atomic.Pointer[Instr]
+	instrOn atomic.Bool
+	trace   atomic.Pointer[LaneTrace]
 }
 
 type poolWorker struct {
@@ -103,6 +113,12 @@ type poolTask struct {
 	cursor  atomic.Int64
 	grabs   atomic.Int64 // guided: grab ordinal for Ctx.Block
 	pending atomic.Int32
+
+	// Observability, captured at acquire time so one dispatch sees one
+	// consistent configuration. Nil when the services are off, keeping
+	// the uninstrumented hot path to a pair of nil checks per granule.
+	instr *Instr
+	trace LaneTrace
 }
 
 // NewPool returns a pool with n execution lanes (n-1 parked goroutines
@@ -184,6 +200,8 @@ func (p *Pool) acquire() bool {
 	if !p.started {
 		p.startLocked()
 	}
+	p.task.instr = p.activeInstr()
+	p.task.trace = p.activeTrace()
 	return true
 }
 
@@ -201,6 +219,7 @@ func (p *Pool) runAndWait(lanes int) {
 		<-p.done
 	}
 	t.body, t.chunkFn, t.blockFn = nil, nil, nil
+	t.instr, t.trace = nil, nil
 	p.mu.Unlock()
 }
 
@@ -282,7 +301,7 @@ func (p *Pool) StaticChunks(workers, n int, f func(w, lo, hi int)) int {
 	chunk := (n + workers - 1) / workers
 	chunks := (n + chunk - 1) / chunk
 	if !p.staticChunks(chunks, chunk, n, f) {
-		spawnStaticChunks(chunks, chunk, n, f)
+		spawnStaticChunks(chunks, chunk, n, f, p.activeInstr(), p.activeTrace())
 	}
 	return chunks
 }
@@ -333,7 +352,7 @@ func (p *Pool) DynamicBlocks(workers, block, n int, f func(lo, hi int)) {
 		return
 	}
 	if !p.dynamicBlocks(block, n, workers, f) {
-		spawnDynamicBlocks(block, n, workers, f)
+		spawnDynamicBlocks(block, n, workers, f, p.activeInstr(), p.activeTrace())
 	}
 }
 
@@ -354,6 +373,9 @@ func (p *Pool) dynamicBlocks(block, n, lanes int, f func(lo, hi int)) bool {
 
 // runLane executes one lane's share of the in-flight task.
 func (t *poolTask) runLane(lane int) {
+	if t.instr != nil {
+		t.instr.wake(lane)
+	}
 	switch t.sched {
 	case ScheduleStatic:
 		t.runStatic(lane)
@@ -364,10 +386,24 @@ func (t *poolTask) runLane(lane int) {
 	}
 }
 
+// measureGranule records one executed granule into the task's
+// instrumentation and trace services. owner is the lane a static
+// round-robin assignment would have given the granule.
+func (t *poolTask) measureGranule(lane, owner int, kind string, start time.Time) {
+	d := time.Since(start)
+	if t.instr != nil {
+		t.instr.granule(lane, owner, d)
+	}
+	if t.trace != nil {
+		t.trace(lane, kind, start, d)
+	}
+}
+
 // runStatic walks chunks lane, lane+lanes, ... so every chunk executes
 // exactly once even when there are more chunks than lanes, and chunk w
 // always reports Ctx.Worker == w regardless of which lane ran it.
 func (t *poolTask) runStatic(lane int) {
+	measured := t.instr != nil || t.trace != nil
 	for w := lane; w < t.chunks; w += t.lanes {
 		lo := t.r.Begin + w*t.chunk
 		hi := lo + t.chunk
@@ -377,14 +413,23 @@ func (t *poolTask) runStatic(lane int) {
 		if lo >= hi {
 			return
 		}
+		var start time.Time
+		if measured {
+			start = time.Now()
+		}
 		if t.chunkFn != nil {
 			t.chunkFn(w, lo-t.r.Begin, hi-t.r.Begin)
-			continue
+		} else {
+			body := t.body
+			c := Ctx{Worker: w, Block: w}
+			for i := lo; i < hi; i++ {
+				body(c, i)
+			}
 		}
-		body := t.body
-		c := Ctx{Worker: w, Block: w}
-		for i := lo; i < hi; i++ {
-			body(c, i)
+		if measured {
+			// Chunk w's static owner is lane w%lanes == lane: static
+			// scheduling never steals.
+			t.measureGranule(lane, lane, granuleChunk, start)
 		}
 	}
 }
@@ -394,6 +439,7 @@ func (t *poolTask) runDynamic(lane int) {
 	blocks := (n + t.block - 1) / t.block
 	body := t.body
 	c := Ctx{Worker: lane}
+	measured := t.instr != nil || t.trace != nil
 	for {
 		b := int(t.cursor.Add(1) - 1)
 		if b >= blocks {
@@ -404,13 +450,20 @@ func (t *poolTask) runDynamic(lane int) {
 		if hi > t.r.End {
 			hi = t.r.End
 		}
+		var start time.Time
+		if measured {
+			start = time.Now()
+		}
 		if t.blockFn != nil {
 			t.blockFn(lo-t.r.Begin, hi-t.r.Begin)
-			continue
+		} else {
+			c.Block = b
+			for i := lo; i < hi; i++ {
+				body(c, i)
+			}
 		}
-		c.Block = b
-		for i := lo; i < hi; i++ {
-			body(c, i)
+		if measured {
+			t.measureGranule(lane, b%t.lanes, granuleBlock, start)
 		}
 	}
 }
@@ -419,6 +472,7 @@ func (t *poolTask) runGuided(lane int) {
 	n := int64(t.r.Len())
 	body := t.body
 	c := Ctx{Worker: lane}
+	measured := t.instr != nil || t.trace != nil
 	for {
 		cur := t.cursor.Load()
 		if cur >= n {
@@ -437,15 +491,23 @@ func (t *poolTask) runGuided(lane int) {
 		c.Block = int(t.grabs.Add(1) - 1)
 		lo := t.r.Begin + int(cur)
 		hi := lo + int(take)
+		var start time.Time
+		if measured {
+			start = time.Now()
+		}
 		for i := lo; i < hi; i++ {
 			body(c, i)
+		}
+		if measured {
+			t.measureGranule(lane, c.Block%t.lanes, granuleGrab, start)
 		}
 	}
 }
 
 // spawnStaticChunks is the goroutine-per-chunk fallback (and the
-// pre-pool baseline measured by BenchmarkForallPar/spawn).
-func spawnStaticChunks(chunks, chunk, n int, f func(w, lo, hi int)) {
+// pre-pool baseline measured by BenchmarkForallPar/spawn). in and tr
+// are the pool's observability services, nil when disabled.
+func spawnStaticChunks(chunks, chunk, n int, f func(w, lo, hi int), in *Instr, tr LaneTrace) {
 	var wg sync.WaitGroup
 	for w := 0; w < chunks; w++ {
 		lo := w * chunk
@@ -459,21 +521,41 @@ func spawnStaticChunks(chunks, chunk, n int, f func(w, lo, hi int)) {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			if in != nil {
+				in.wake(w)
+			}
+			var start time.Time
+			if in != nil || tr != nil {
+				start = time.Now()
+			}
 			f(w, lo, hi)
+			if in != nil || tr != nil {
+				d := time.Since(start)
+				if in != nil {
+					in.granule(w, w, d)
+				}
+				if tr != nil {
+					tr(w, granuleChunk, start, d)
+				}
+			}
 		}(w, lo, hi)
 	}
 	wg.Wait()
 }
 
 // spawnDynamicBlocks is the goroutine-per-worker dynamic fallback.
-func spawnDynamicBlocks(block, n, workers int, f func(lo, hi int)) {
+func spawnDynamicBlocks(block, n, workers int, f func(lo, hi int), in *Instr, tr LaneTrace) {
 	blocks := (n + block - 1) / block
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			if in != nil {
+				in.wake(w)
+			}
+			measured := in != nil || tr != nil
 			for {
 				b := int(cursor.Add(1) - 1)
 				if b >= blocks {
@@ -484,9 +566,22 @@ func spawnDynamicBlocks(block, n, workers int, f func(lo, hi int)) {
 				if hi > n {
 					hi = n
 				}
+				var start time.Time
+				if measured {
+					start = time.Now()
+				}
 				f(lo, hi)
+				if measured {
+					d := time.Since(start)
+					if in != nil {
+						in.granule(w, b%workers, d)
+					}
+					if tr != nil {
+						tr(w, granuleBlock, start, d)
+					}
+				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }

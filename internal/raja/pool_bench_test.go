@@ -47,7 +47,7 @@ func BenchmarkForallPar(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				spawnForallStatic(RangeN(n), body, chunks, chunk)
+				spawnForallStatic(RangeN(n), body, chunks, chunk, nil, nil)
 			}
 		})
 	}
@@ -89,7 +89,7 @@ func BenchmarkForallGPU(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				spawnForallDynamic(RangeN(n), body, DefaultBlock, workers)
+				spawnForallDynamic(RangeN(n), body, DefaultBlock, workers, nil, nil)
 			}
 		})
 	}
@@ -141,7 +141,7 @@ func BenchmarkPoolDispatch(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			spawnForallStatic(RangeN(n), body, chunks, chunk)
+			spawnForallStatic(RangeN(n), body, chunks, chunk, nil, nil)
 		}
 	})
 }

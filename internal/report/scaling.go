@@ -11,11 +11,14 @@ import (
 )
 
 // ScalingRow is one kernel's strong-scaling measurement: wall time per
-// worker count and the parallel efficiency at the largest count.
+// worker count, the parallel efficiency at the largest count, and the
+// lane load-imbalance percentage per worker count (from the executor's
+// per-lane instrumentation, aggregated over all timing passes).
 type ScalingRow struct {
 	Kernel     string
 	Times      map[int]float64 // workers -> best wall seconds
 	Efficiency float64         // t(1) / (t(max) * max)
+	Imbalance  map[int]float64 // workers -> (max-avg)/max busy-time %
 }
 
 // ScalingStudy measures strong scaling of the given kernels' RAJA_OpenMP
@@ -30,6 +33,7 @@ func ScalingStudy(names []string, workerCounts []int, size, reps int, sched raja
 	sort.Ints(workerCounts)
 	pool := raja.NewPool(workerCounts[len(workerCounts)-1])
 	defer pool.Close()
+	pool.Instrument(true)
 	var rows []ScalingRow
 	for _, name := range names {
 		k, err := kernels.New(name)
@@ -39,12 +43,14 @@ func ScalingStudy(names []string, workerCounts []int, size, reps int, sched raja
 		if !k.Info().HasVariant(kernels.RAJAOpenMP) {
 			continue
 		}
-		row := ScalingRow{Kernel: name, Times: map[int]float64{}}
+		row := ScalingRow{Kernel: name,
+			Times: map[int]float64{}, Imbalance: map[int]float64{}}
 		for _, w := range workerCounts {
 			rp := kernels.RunParams{Size: size, Reps: reps, Workers: w,
 				Schedule: sched, Pool: pool}
 			k.SetUp(rp)
 			best := 0.0
+			before := pool.InstrSnapshot()
 			for pass := 0; pass < 3; pass++ {
 				start := time.Now()
 				if err := k.Run(kernels.RAJAOpenMP, rp); err != nil {
@@ -57,6 +63,7 @@ func ScalingStudy(names []string, workerCounts []int, size, reps int, sched raja
 			}
 			k.TearDown()
 			row.Times[w] = best
+			row.Imbalance[w] = raja.ComputeImbalance(before, pool.InstrSnapshot()).Pct
 		}
 		lo, hi := workerCounts[0], workerCounts[len(workerCounts)-1]
 		if t := row.Times[hi]; t > 0 && hi > lo {
@@ -75,13 +82,14 @@ func RenderScaling(rows []ScalingRow, workerCounts []int) string {
 	for _, w := range workerCounts {
 		fmt.Fprintf(&b, " %10s", fmt.Sprintf("w=%d", w))
 	}
-	fmt.Fprintf(&b, " %10s\n", "efficiency")
+	fmt.Fprintf(&b, " %10s %10s\n", "efficiency", "imbalance")
 	for _, r := range rows {
 		fmt.Fprintf(&b, "%-34s", r.Kernel)
 		for _, w := range workerCounts {
 			fmt.Fprintf(&b, " %9.3fms", r.Times[w]*1000)
 		}
-		fmt.Fprintf(&b, " %9.0f%%\n", r.Efficiency*100)
+		maxW := workerCounts[len(workerCounts)-1]
+		fmt.Fprintf(&b, " %9.0f%% %9.1f%%\n", r.Efficiency*100, r.Imbalance[maxW])
 	}
 	return b.String()
 }

@@ -52,6 +52,15 @@ type Config struct {
 	// through, so a whole suite run reuses one set of parked workers.
 	// Nil means the shared raja.Default() pool.
 	Pool *raja.Pool
+
+	// Services selects the measurement services (caliper.ParseServices)
+	// active for the run: counter sources sampled at region boundaries,
+	// the per-lane imbalance instrumentation, and the event trace. Nil or
+	// empty means wall-clock timing only.
+	Services caliper.Services
+	// Tracer receives the run's region and lane events when the trace
+	// service is enabled. The caller owns writing it out after Run.
+	Tracer *caliper.Tracer
 }
 
 // DefaultVariant returns the variant Table III assigns to a machine:
@@ -90,8 +99,29 @@ func Run(cfg Config) (*caliper.Profile, error) {
 		names = kernels.Names()
 	}
 
-	rec := caliper.NewRecorder()
+	pool := cfg.Pool
+	if pool == nil {
+		pool = raja.Default()
+	}
+	imbalance := cfg.Services.Enabled(caliper.ServiceImbalance)
+	if imbalance {
+		pool.Instrument(true)
+	}
+	if cfg.Tracer != nil {
+		pool.SetLaneTrace(cfg.Tracer.LaneEvent)
+		defer pool.SetLaneTrace(nil)
+	}
+
+	rec := caliper.NewRecorderWith(caliper.Config{
+		Sources: cfg.Services.CounterSources(),
+		Tracer:  cfg.Tracer,
+	})
 	for mk, mv := range adiak.Collect() {
+		rec.AddMetadata(mk, mv)
+	}
+	exec := adiak.Executor(cfg.Schedule.String(), cfg.Workers, pool.Lanes(),
+		cfg.GPUBlock, cfg.Services.String())
+	for mk, mv := range exec {
 		rec.AddMetadata(mk, mv)
 	}
 	rec.AddMetadata("machine", cfg.Machine.Shorthand)
@@ -101,6 +131,7 @@ func Run(cfg Config) (*caliper.Profile, error) {
 	rec.AddMetadata("ranks", ranks)
 	rec.AddMetadata("size_per_node", sizeNode)
 	rec.AddMetadata("size_per_rank", perRank)
+	rec.AddMetadata("collection_begin", adiak.Timestamp())
 
 	var cpuModel *tma.Model
 	var gpuDev *gpusim.Device
@@ -124,6 +155,7 @@ func Run(cfg Config) (*caliper.Profile, error) {
 	}
 
 	skipped := 0
+	wallStart := time.Now()
 	rec.Begin("suite")
 	for _, name := range names {
 		k, err := kernels.New(name)
@@ -141,17 +173,27 @@ func Run(cfg Config) (*caliper.Profile, error) {
 			GPUBlock: cfg.GPUBlock,
 			Ranks:    minInt(ranks, 8),
 			Schedule: cfg.Schedule,
-			Pool:     cfg.Pool,
+			Pool:     pool,
 		}
-		if err := runKernel(rec, k, rp, cfg, cpuModel, gpuDev, sizeNode, ranks); err != nil {
+		if err := runKernel(rec, k, rp, cfg, pool, cpuModel, gpuDev, sizeNode, ranks); err != nil {
 			return nil, err
 		}
 	}
 	if err := rec.End("suite"); err != nil {
 		return nil, err
 	}
+	wall := time.Since(wallStart).Seconds()
+	rec.AddMetadata("collection_end", adiak.Timestamp())
 	rec.AddMetadata("kernels_skipped", skipped)
 	rec.AddMetadata("kernels_run", len(names)-skipped)
+
+	// Overhead self-measurement: calibrate the recorder's own per-region
+	// cost under the run's exact service set and report what fraction of
+	// the run's wall time instrumentation consumed.
+	ov := rec.CalibrateOverhead(0)
+	rec.AddMetadata("caliper.overhead.per_region_sec", ov.PerRegionSec)
+	rec.AddMetadata("caliper.overhead.samples", ov.Samples)
+	rec.AddMetadata("caliper.overhead.pct", 100*ov.Fraction(rec.RegionCount(), wall))
 	return rec.Profile(), nil
 }
 
@@ -167,7 +209,8 @@ func tuningName(cfg Config) string {
 }
 
 func runKernel(rec *caliper.Recorder, k kernels.Kernel, rp kernels.RunParams,
-	cfg Config, cpuModel *tma.Model, gpuDev *gpusim.Device, sizeNode, ranks int) error {
+	cfg Config, pool *raja.Pool, cpuModel *tma.Model, gpuDev *gpusim.Device,
+	sizeNode, ranks int) error {
 
 	name := k.Info().FullName()
 	k.SetUp(rp)
@@ -180,13 +223,20 @@ func runKernel(rec *caliper.Recorder, k kernels.Kernel, rp kernels.RunParams,
 	path := []string{"suite", name}
 	rec.Begin(name)
 	var runErr error
+	var im raja.Imbalance
+	measured := false
 	if cfg.Execute {
+		before := pool.InstrSnapshot()
 		start := time.Now()
 		if err := k.Run(cfg.Variant, rp); err != nil {
 			runErr = fmt.Errorf("suite: %s: %w", name, err)
 		} else {
 			rec.SetMetric("wall_time", time.Since(start).Seconds())
 			rec.SetMetric("checksum", k.Checksum())
+			if before != nil {
+				im = raja.ComputeImbalance(before, pool.InstrSnapshot())
+				measured = true
+			}
 		}
 	}
 	if err := rec.End(name); err != nil {
@@ -194,6 +244,20 @@ func runKernel(rec *caliper.Recorder, k kernels.Kernel, rp kernels.RunParams,
 	}
 	if runErr != nil {
 		return runErr
+	}
+
+	// Per-lane load-imbalance metrics from the imbalance service: the
+	// busy-time distribution of this kernel's dispatches across executor
+	// lanes, the scalability signal wall clocks cannot see.
+	if measured {
+		rec.SetMetricAt(path, "lanes_used", float64(im.Lanes))
+		rec.SetMetricAt(path, "lane_busy_max_sec", im.Max.Seconds())
+		rec.SetMetricAt(path, "lane_busy_min_sec", im.Min.Seconds())
+		rec.SetMetricAt(path, "lane_busy_avg_sec", im.Avg.Seconds())
+		rec.SetMetricAt(path, "imbalance_pct", im.Pct)
+		rec.SetMetricAt(path, "lane_granules", float64(im.Granules))
+		rec.SetMetricAt(path, "lane_steals", float64(im.Steals))
+		rec.SetMetricAt(path, "lane_wakes", float64(im.Wakes))
 	}
 
 	// Analytic metrics (Sec II-B), scaled to node totals per rep.

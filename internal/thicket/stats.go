@@ -69,6 +69,21 @@ func summarize(node, metric string, xs []float64) Stats {
 	return s
 }
 
+// GroupStats partitions the Thicket by a metadata key and computes the
+// per-node summary statistics of a metric within each group — the
+// groupby-then-aggregate composition the Thicket paper applies to
+// machine and tuning columns, extended here to the executor metadata
+// (executor.schedule, executor.services) and the imbalance metrics the
+// measurement services attach (imbalance_pct, lane_busy_max_sec, ...).
+// Group keys are the stringified metadata values.
+func (t *Thicket) GroupStats(key, metric string) map[string][]Stats {
+	out := map[string][]Stats{}
+	for k, sub := range t.GroupBy(key) {
+		out[k] = sub.AggregateStats(metric)
+	}
+	return out
+}
+
 // SpeedupTable computes, per node, baselineMetric/otherMetric between two
 // Thickets (e.g. modeled time on SPR-DDR vs another machine) — the
 // derivation behind the paper's Fig 7-9 speedup columns. Nodes missing in
