@@ -11,10 +11,12 @@
 package rajaperf
 
 import (
+	"context"
 	"sync"
 	"testing"
 
 	"rajaperf/internal/analysis"
+	"rajaperf/internal/campaign"
 	"rajaperf/internal/cluster"
 	"rajaperf/internal/kernels"
 	_ "rajaperf/internal/kernels/algorithms"
@@ -298,4 +300,32 @@ func BenchmarkKernelMatMulRAJAOMP(b *testing.B) {
 func BenchmarkKernelFIRRAJAOMP(b *testing.B) { benchKernel(b, "Apps_FIR", kernels.RAJAOpenMP, 1<<20) }
 func BenchmarkKernelScanRAJAOMP(b *testing.B) {
 	benchKernel(b, "Algorithm_SCAN", kernels.RAJAOpenMP, 1<<20)
+}
+
+// BenchmarkCampaign measures the campaign orchestrator end to end: plan
+// expansion, two concurrent workers collecting model-only suite runs over
+// two machines and two variants, and in-memory recording. Reported as
+// specs/op so regressions in orchestration overhead (pool setup, manifest
+// bookkeeping, per-run isolation) show up independently of kernel speed.
+func BenchmarkCampaign(b *testing.B) {
+	plan := campaign.Plan{
+		Machines: []string{"SPR-DDR", "P9-V100"},
+		Variants: []string{"RAJA_Seq"},
+		Sizes:    []int{1_000_000},
+		Kernels:  []string{"Stream_TRIAD", "Stream_DOT", "Basic_DAXPY"},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := campaign.Run(context.Background(), plan, campaign.Options{
+			Workers: 2,
+			Retain:  true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Done != 2 {
+			b.Fatalf("done = %d, want 2", res.Done)
+		}
+	}
+	b.ReportMetric(2, "specs/op")
 }

@@ -14,6 +14,7 @@ import (
 	"os"
 	"sort"
 
+	"rajaperf/internal/campaign"
 	"rajaperf/internal/thicket"
 )
 
@@ -38,6 +39,13 @@ func run(dir, metric string, top int, groupby, speedupBase string, tree int) err
 	tk, err := thicket.FromDir(dir)
 	if err != nil {
 		return err
+	}
+	// Campaign-produced directories carry a manifest; summarize it so
+	// incomplete or partially failed campaigns are visible at a glance.
+	if man, err := campaign.LoadManifest(dir); err == nil && len(man.Entries) > 0 {
+		done, failed := man.Counts()
+		fmt.Printf("campaign manifest: %d specs recorded (%d done, %d failed)\n",
+			len(man.Entries), done, failed)
 	}
 	fmt.Printf("composed %d profiles, %d rows, %d nodes\n",
 		tk.NumProfiles(), tk.NumRows(), len(tk.Nodes()))

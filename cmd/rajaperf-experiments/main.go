@@ -26,10 +26,12 @@ func main() {
 		execute = flag.Bool("execute", false, "run real kernel computations in addition to the models")
 		thresh  = flag.Float64("threshold", 0, "Ward dendrogram cut distance (0 = 1.4)")
 		svgdir  = flag.String("svgdir", "", "also write figure SVGs into this directory")
+		jobs    = flag.Int("jobs", 1, "concurrent per-machine suite collections")
 	)
 	flag.Parse()
 
 	s := analysis.NewSession(*size, *execute)
+	s.Jobs = *jobs
 	if err := run(s, strings.ToLower(*exp), *thresh, *size); err != nil {
 		fmt.Fprintln(os.Stderr, "rajaperf-experiments:", err)
 		os.Exit(1)

@@ -5,22 +5,34 @@
 //	rajaperf -machine P9-V100 -variant RAJA_GPU -block 256 -size 32000000
 //	rajaperf -kernels Stream_TRIAD,Basic_DAXPY -execute
 //
+// A campaign runs the cross-product of several machines, variants,
+// GPU-block tunings, sizes, and schedules, concurrently and resumably,
+// writing one profile per configuration plus a manifest:
+//
+//	rajaperf -campaign -machines SPR-DDR,P9-V100 -variants RAJA_Seq,RAJA_GPU \
+//	         -blocks 128,256 -jobs 4 -outdir runs/
+//	rajaperf -campaign ... -resume -outdir runs/   # re-runs only what's missing
+//
 // Kernel computations execute when -execute is set (checksums recorded);
 // hardware timing and counters for the Table II machines always come from
 // the TMA/GPU models standing in for PAPI and Nsight Compute.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 
 	"rajaperf/internal/caliper"
+	"rajaperf/internal/campaign"
 	"rajaperf/internal/kernels"
 	"rajaperf/internal/machine"
 	"rajaperf/internal/raja"
@@ -52,9 +64,22 @@ func realMain() int {
 		doReport = flag.Bool("report", false, "run kernels on the host across variants and print the timing + checksum reports")
 		scaling  = flag.Bool("scaling", false, "run a strong-scaling study of RAJA_OpenMP on the host (1/2/4/8 workers)")
 		services = flag.String("services", "", "comma-separated measurement services: "+strings.Join(caliper.ServiceNames(), ", "))
-		traceOut = flag.String("trace", "", "write a Chrome-trace JSON event trace to this path (enables the trace service)")
-		cpuprof  = flag.String("pprof", "", "write a CPU profile of the run to this path")
-		pprofSrv = flag.String("pprof-http", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's duration")
+
+		// Campaign mode: plan → execute → record over a cross-product of
+		// configurations.
+		campaignF = flag.Bool("campaign", false, "run a campaign: the cross-product of -machines × -variants × -blocks × -sizes × -schedules")
+		machines  = flag.String("machines", "", "comma-separated machines for -campaign (default: -machine)")
+		variants  = flag.String("variants", "", "comma-separated variants for -campaign (default: each machine's Table III variant)")
+		blocks    = flag.String("blocks", "", "comma-separated GPU block tunings for -campaign (GPU variants only)")
+		sizes     = flag.String("sizes", "", "comma-separated node problem sizes for -campaign (default: -size)")
+		schedules = flag.String("schedules", "", "comma-separated loop schedules for -campaign (default: -schedule)")
+		include   = flag.String("include", "", "comma-separated spec-ID patterns a campaign spec must match")
+		exclude   = flag.String("exclude", "", "comma-separated spec-ID patterns that drop campaign specs")
+		jobs      = flag.Int("jobs", 1, "concurrent runs in a campaign (each on its own executor pool)")
+		resume    = flag.Bool("resume", false, "skip campaign specs whose recorded profile exists and validates")
+		traceOut  = flag.String("trace", "", "write a Chrome-trace JSON event trace to this path (enables the trace service)")
+		cpuprof   = flag.String("pprof", "", "write a CPU profile of the run to this path")
+		pprofSrv  = flag.String("pprof-http", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's duration")
 	)
 	flag.Parse()
 
@@ -108,6 +133,20 @@ func realMain() int {
 		}
 		return 0
 	}
+	if *campaignF {
+		code, err := runCampaign(campaignArgs{
+			machines: orDefault(*machines, *machName), variants: *variants,
+			blocks: *blocks, sizes: orDefault(*sizes, strconv.Itoa(*size)),
+			schedules: orDefault(*schedules, *schedule),
+			include:   *include, exclude: *exclude,
+			kernels: *kerns, reps: *reps, workers: *workers,
+			execute: *execute, outdir: *outdir, jobs: *jobs, resume: *resume,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rajaperf:", err)
+		}
+		return code
+	}
 	if *doReport {
 		if err := runReport(*kerns, *size, *reps, *workers, sched); err != nil {
 			fmt.Fprintln(os.Stderr, "rajaperf:", err)
@@ -140,6 +179,119 @@ func realMain() int {
 		return 1
 	}
 	return 0
+}
+
+// campaignArgs carries the -campaign flag set.
+type campaignArgs struct {
+	machines, variants, blocks, sizes, schedules string
+	include, exclude, kernels                    string
+	reps, workers, jobs                          int
+	execute, resume                              bool
+	outdir                                       string
+}
+
+// runCampaign plans and executes a campaign, streaming progress lines as
+// specs finish. It returns the process exit code: 0 when every spec
+// completed (or resumed), 1 when any failed or the campaign was
+// interrupted — in which case the written manifest makes a -resume
+// invocation pick up where this one stopped.
+func runCampaign(a campaignArgs) (int, error) {
+	sizes, err := parseInts(a.sizes)
+	if err != nil {
+		return 2, fmt.Errorf("bad -sizes: %w", err)
+	}
+	blocks, err := parseInts(a.blocks)
+	if err != nil {
+		return 2, fmt.Errorf("bad -blocks: %w", err)
+	}
+	plan := campaign.Plan{
+		Machines:  splitList(a.machines),
+		Variants:  splitList(a.variants),
+		GPUBlocks: blocks,
+		Sizes:     sizes,
+		Schedules: splitList(a.schedules),
+		Reps:      a.reps,
+		Workers:   a.workers,
+		Kernels:   splitList(a.kernels),
+		Execute:   a.execute,
+		Include:   splitList(a.include),
+		Exclude:   splitList(a.exclude),
+	}
+	specs, err := plan.Specs()
+	if err != nil {
+		return 2, err
+	}
+	fmt.Printf("campaign: %d specs -> %s (jobs %d, resume %v)\n",
+		len(specs), a.outdir, a.jobs, a.resume)
+
+	// Interrupt (ctrl-C) cancels cleanly: in-flight runs stop between
+	// kernels, the manifest stays consistent, and -resume continues.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	res, err := campaign.Run(ctx, plan, campaign.Options{
+		OutDir:  a.outdir,
+		Workers: a.jobs,
+		Resume:  a.resume,
+		Progress: func(ev campaign.Event) {
+			switch ev.Status {
+			case campaign.StatusDone:
+				fmt.Printf("[%d/%d] done    %s (%.2fs)\n",
+					ev.Finished, ev.Total, ev.Spec.ID(), ev.Elapsed.Seconds())
+			case campaign.StatusResumed:
+				fmt.Printf("[%d/%d] resumed %s\n", ev.Finished, ev.Total, ev.Spec.ID())
+			case campaign.StatusFailed:
+				fmt.Printf("[%d/%d] FAILED  %s: %v\n",
+					ev.Finished, ev.Total, ev.Spec.ID(), ev.Err)
+			case campaign.StatusCanceled:
+				fmt.Printf("[%d/%d] canceled %s\n", ev.Finished, ev.Total, ev.Spec.ID())
+			}
+		},
+	})
+	if res != nil {
+		fmt.Printf("campaign: %d specs, %d executed, %d resumed, %d failed in %.2fs\n",
+			len(res.Specs), res.Done, res.Resumed, res.Failed, res.Elapsed.Seconds())
+		fmt.Printf("manifest: %s\n", campaign.ManifestPath(a.outdir))
+	}
+	if err != nil {
+		return 1, err
+	}
+	if ferr := res.Err(); ferr != nil {
+		return 1, ferr
+	}
+	return 0, nil
+}
+
+// orDefault returns s, or def when s is empty.
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+// splitList splits a comma-separated flag value, dropping empty elements.
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// parseInts parses a comma-separated integer list.
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range splitList(s) {
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 // runReport executes the classic timing/checksum reports on the host.

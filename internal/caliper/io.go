@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 )
 
 // FileExt is the extension of serialized profiles (the ".cali" analog).
@@ -45,7 +46,9 @@ func ReadFile(path string) (*Profile, error) {
 }
 
 // ReadDir reads every profile file under dir (by FileExt), sorted by file
-// name for deterministic composition order.
+// name for deterministic composition order. Only files carrying the full
+// FileExt suffix are profiles; other .json files a run directory
+// accumulates (campaign manifests, Chrome traces) are ignored.
 func ReadDir(dir string) ([]*Profile, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -53,7 +56,7 @@ func ReadDir(dir string) ([]*Profile, error) {
 	}
 	var names []string
 	for _, e := range entries {
-		if !e.IsDir() && filepath.Ext(e.Name()) == ".json" {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), FileExt) {
 			names = append(names, e.Name())
 		}
 	}

@@ -1,0 +1,81 @@
+package caliper
+
+// Campaign directories mix profiles with other JSON artifacts (the
+// campaign manifest, Chrome traces) and can hold a torn profile after an
+// interrupted run. ReadDir must read exactly the profiles and name the
+// broken file when one fails.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeValidProfile(t *testing.T, path string) {
+	t.Helper()
+	c := NewRecorder()
+	c.AddMetadata("machine", "SPR-DDR")
+	c.Region("Stream_ADD", func() {})
+	if err := c.Profile().WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadDirNamesTheCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	writeValidProfile(t, filepath.Join(dir, "a"+FileExt))
+	bad := filepath.Join(dir, "b"+FileExt)
+	if err := os.WriteFile(bad, []byte(`{"metadata": {}, "records": [{`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err := ReadDir(dir)
+	if err == nil {
+		t.Fatal("ReadDir accepted a directory with a torn profile")
+	}
+	if !strings.Contains(err.Error(), "b"+FileExt) {
+		t.Errorf("error %q does not name the corrupt file", err)
+	}
+}
+
+func TestReadDirRejectsStructurallyInvalidProfile(t *testing.T) {
+	dir := t.TempDir()
+	// Valid JSON, invalid profile: duplicate record paths.
+	invalid := `{"metadata":{},"records":[` +
+		`{"path":["k"],"metrics":{}},{"path":["k"],"metrics":{}}]}`
+	path := filepath.Join(dir, "dup"+FileExt)
+	if err := os.WriteFile(path, []byte(invalid), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil || !strings.Contains(err.Error(), "invalid profile") {
+		t.Errorf("ReadFile = %v, want an invalid-profile error", err)
+	}
+	if _, err := ReadDir(dir); err == nil {
+		t.Error("ReadDir must propagate profile validation errors")
+	}
+}
+
+func TestReadDirIgnoresNonProfileJSON(t *testing.T) {
+	dir := t.TempDir()
+	writeValidProfile(t, filepath.Join(dir, "run0"+FileExt))
+	writeValidProfile(t, filepath.Join(dir, "run1"+FileExt))
+	// Sidecar files a campaign directory accumulates: none of these carry
+	// the full FileExt, so none may be parsed as a profile.
+	for _, name := range []string{"campaign_manifest.json", "trace.json", "notes.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("not a profile"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Mkdir(filepath.Join(dir, "sub"+FileExt), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	ps, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2 {
+		t.Errorf("ReadDir = %d profiles, want 2 (sidecar files must be ignored)", len(ps))
+	}
+}

@@ -1,0 +1,303 @@
+package campaign
+
+// The execute layer: a bounded worker pool of campaign workers, each
+// pulling specs off a shared feed and driving them through
+// suite.RunContext. Every in-flight run owns a private raja.Pool sized to
+// its share of the machine, so concurrently executing kernels never
+// contend for executor lanes; fault isolation is two-level (a failing
+// kernel is recorded inside its profile by the suite layer, a failing run
+// is recorded in the manifest by this layer and the campaign continues).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"rajaperf/internal/caliper"
+	"rajaperf/internal/raja"
+	"rajaperf/internal/suite"
+)
+
+// Status is the terminal state of one spec within a campaign.
+type Status string
+
+const (
+	// StatusDone: the run completed and its profile was recorded.
+	StatusDone Status = "done"
+	// StatusFailed: the run aborted (configuration error, model error,
+	// or a failed profile write); the campaign continued.
+	StatusFailed Status = "failed"
+	// StatusResumed: a previous campaign already completed this spec and
+	// its profile validated, so it was skipped (-resume).
+	StatusResumed Status = "resumed"
+	// StatusCanceled: the campaign's context was canceled before or
+	// while this spec ran.
+	StatusCanceled Status = "canceled"
+)
+
+// Options configures a campaign execution.
+type Options struct {
+	// OutDir receives one profile file per completed spec plus the
+	// manifest, streamed as each run finishes. Empty disables the record
+	// layer (useful for in-memory collection with Retain).
+	OutDir string
+	// Workers bounds how many specs run concurrently (<=1 = serial).
+	Workers int
+	// Resume skips specs whose manifest entry is done and whose recorded
+	// profile still validates (see Manifest.Completed).
+	Resume bool
+	// Retain keeps each completed profile in its SpecResult, for callers
+	// composing in memory (analysis.Session). Off by default so large
+	// campaigns stream to disk without accumulating every run.
+	Retain bool
+	// PoolLanes sets each in-flight run's private executor pool size.
+	// Zero divides the machine evenly: max(1, NumCPU/Workers).
+	PoolLanes int
+	// Progress, when non-nil, receives one event per finished spec
+	// (done, failed, resumed, or canceled), serialized by the
+	// orchestrator's bookkeeping lock.
+	Progress func(Event)
+}
+
+// Event is one progress notification.
+type Event struct {
+	Spec    RunSpec
+	Status  Status
+	Err     error
+	Elapsed time.Duration
+	// Finished counts specs that have reached a terminal state so far,
+	// Total the campaign's spec count.
+	Finished, Total int
+}
+
+// SpecResult is the terminal record of one spec.
+type SpecResult struct {
+	Spec    RunSpec
+	Status  Status
+	Err     error
+	Path    string           // profile file path when recorded
+	Profile *caliper.Profile // retained profile when Options.Retain
+	Elapsed time.Duration
+}
+
+// Result summarizes a campaign.
+type Result struct {
+	Specs   []SpecResult // one per plan spec, in plan order
+	Done    int          // ran to completion this campaign
+	Resumed int          // skipped as already complete
+	Failed  int
+	Elapsed time.Duration
+}
+
+// Err returns an error summarizing failed specs, or nil if none failed.
+func (r *Result) Err() error {
+	if r.Failed == 0 {
+		return nil
+	}
+	for _, sr := range r.Specs {
+		if sr.Status == StatusFailed {
+			return fmt.Errorf("campaign: %d of %d specs failed, first: %s: %w",
+				r.Failed, len(r.Specs), sr.Spec.ID(), sr.Err)
+		}
+	}
+	return nil
+}
+
+// Run executes the plan: expand, skip what a previous campaign already
+// recorded (Resume), run the remainder on Workers concurrent runners, and
+// stream profiles + manifest updates to OutDir as specs finish. One spec
+// failing never aborts the campaign. Cancellation via ctx stops feeding
+// new specs, waits for in-flight runs to notice (the suite checks between
+// kernels), marks the rest canceled, and returns ctx.Err() alongside the
+// partial result — which a later Resume picks up.
+func Run(ctx context.Context, plan Plan, opts Options) (*Result, error) {
+	specs, err := plan.Specs()
+	if err != nil {
+		return nil, err
+	}
+	if len(specs) == 0 {
+		return nil, errors.New("campaign: plan expands to zero specs (over-filtered?)")
+	}
+
+	man := NewManifest()
+	if opts.OutDir != "" {
+		if opts.Resume {
+			if man, err = LoadManifest(opts.OutDir); err != nil {
+				return nil, err
+			}
+		} else if err := man.Write(opts.OutDir); err != nil {
+			// Surface an unwritable output directory before running
+			// anything.
+			return nil, err
+		}
+	}
+
+	res := &Result{Specs: make([]SpecResult, len(specs))}
+	start := time.Now()
+	finished := 0
+
+	// Bookkeeping shared by the runners: manifest writes, result slots,
+	// and progress events are serialized under one lock.
+	var mu sync.Mutex
+	record := func(i int, sr SpecResult) {
+		mu.Lock()
+		defer mu.Unlock()
+		res.Specs[i] = sr
+		finished++
+		switch sr.Status {
+		case StatusDone:
+			res.Done++
+		case StatusResumed:
+			res.Resumed++
+		case StatusFailed:
+			res.Failed++
+		}
+		if opts.OutDir != "" && (sr.Status == StatusDone || sr.Status == StatusFailed) {
+			e := ManifestEntry{
+				Spec:    sr.Spec,
+				Status:  sr.Status,
+				WallSec: sr.Elapsed.Seconds(),
+			}
+			if sr.Path != "" {
+				e.File = filepath.Base(sr.Path)
+			}
+			if sr.Err != nil {
+				e.Error = sr.Err.Error()
+			}
+			man.Entries[sr.Spec.ID()] = e
+			if err := man.Write(opts.OutDir); err != nil && sr.Status == StatusDone {
+				// A completed run whose checkpoint cannot be written
+				// must not claim to be resumable.
+				res.Specs[i].Status = StatusFailed
+				res.Specs[i].Err = err
+				res.Done--
+				res.Failed++
+			}
+		}
+		if opts.Progress != nil {
+			sr = res.Specs[i]
+			opts.Progress(Event{
+				Spec: sr.Spec, Status: sr.Status, Err: sr.Err,
+				Elapsed: sr.Elapsed, Finished: finished, Total: len(specs),
+			})
+		}
+	}
+
+	// Resume pass: specs a previous campaign completed (profile present
+	// and valid) are terminal immediately and never reach the runners.
+	var todo []int
+	for i, s := range specs {
+		if opts.Resume && opts.OutDir != "" && man.Completed(opts.OutDir, s) {
+			record(i, SpecResult{
+				Spec:   s,
+				Status: StatusResumed,
+				Path:   filepath.Join(opts.OutDir, man.Entries[s.ID()].File),
+			})
+			continue
+		}
+		todo = append(todo, i)
+	}
+
+	workers := min(max(opts.Workers, 1), max(len(todo), 1))
+	lanes := opts.PoolLanes
+	if lanes <= 0 {
+		lanes = max(1, runtime.NumCPU()/workers)
+	}
+
+	feed := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				record(i, runSpec(ctx, specs[i], lanes, opts))
+			}
+		}()
+	}
+	canceled := false
+feeding:
+	for _, i := range todo {
+		select {
+		case <-ctx.Done():
+			canceled = true
+			break feeding
+		case feed <- i:
+		}
+	}
+	close(feed)
+	wg.Wait()
+
+	// Anything still zero-valued was never fed (cancellation).
+	for i, s := range specs {
+		if res.Specs[i].Status == "" {
+			record(i, SpecResult{Spec: s, Status: StatusCanceled, Err: ctx.Err()})
+		}
+	}
+	res.Elapsed = time.Since(start)
+	if canceled || ctx.Err() != nil {
+		return res, fmt.Errorf("campaign: canceled after %d of %d specs: %w",
+			res.Done+res.Resumed, len(specs), context.Cause(ctx))
+	}
+	return res, nil
+}
+
+// runSpec executes one spec on a private executor pool and records its
+// profile. All failure modes collapse into the SpecResult; nothing
+// propagates.
+func runSpec(ctx context.Context, spec RunSpec, lanes int, opts Options) SpecResult {
+	sr := SpecResult{Spec: spec}
+	start := time.Now()
+	defer func() { sr.Elapsed = time.Since(start) }()
+
+	if err := ctx.Err(); err != nil {
+		sr.Status, sr.Err = StatusCanceled, err
+		return sr
+	}
+	cfg, err := spec.Config()
+	if err != nil {
+		sr.Status, sr.Err = StatusFailed, err
+		return sr
+	}
+
+	// A private pool per in-flight run: executed kernels of concurrent
+	// runs never contend for lanes, and each run's worker count stays
+	// within its share of the machine.
+	pool := raja.NewPool(lanes)
+	defer pool.Close()
+	cfg.Pool = pool
+	if cfg.Workers <= 0 || cfg.Workers > lanes {
+		cfg.Workers = lanes
+	}
+
+	p, err := suite.RunContext(ctx, cfg)
+	if err != nil {
+		if ctx.Err() != nil {
+			sr.Status, sr.Err = StatusCanceled, err
+		} else {
+			sr.Status, sr.Err = StatusFailed, err
+		}
+		return sr
+	}
+	// Stamp the profile with its campaign identity: the resume validator
+	// checks it, and Thicket analyses group by it.
+	p.Metadata["campaign.spec"] = spec.ID()
+
+	if opts.OutDir != "" {
+		path := filepath.Join(opts.OutDir, spec.FileName())
+		if err := p.WriteFile(path); err != nil {
+			sr.Status, sr.Err = StatusFailed, err
+			return sr
+		}
+		sr.Path = path
+	}
+	if opts.Retain {
+		sr.Profile = p
+	}
+	sr.Status = StatusDone
+	return sr
+}

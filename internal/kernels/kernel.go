@@ -12,6 +12,7 @@
 package kernels
 
 import (
+	"context"
 	"fmt"
 
 	"rajaperf/internal/raja"
@@ -315,6 +316,12 @@ type RunParams struct {
 	GPUBlock int // block size for GPU back-end (0 = raja.DefaultBlock)
 	Ranks    int // simulated MPI ranks for Comm kernels (0 = 4)
 
+	// Ctx carries cancellation for the run. The suite driver checks it
+	// between kernels; long-running kernels may additionally poll
+	// Canceled between repetitions to abandon work early. Nil means
+	// context.Background().
+	Ctx context.Context
+
 	// Schedule selects the parallel loop schedule (static/dynamic/guided)
 	// for the OpenMP and GPU back-ends. Zero means the back-end default.
 	Schedule raja.Schedule
@@ -322,6 +329,23 @@ type RunParams struct {
 	// through. Nil means the shared raja.Default() pool, so a whole
 	// suite run reuses one set of parked workers.
 	Pool *raja.Pool
+}
+
+// Context resolves the run's cancellation context.
+func (rp RunParams) Context() context.Context {
+	if rp.Ctx != nil {
+		return rp.Ctx
+	}
+	return context.Background()
+}
+
+// Canceled reports whether the run's context has been canceled — the
+// check kernels with long rep loops poll between repetitions.
+func (rp RunParams) Canceled() bool {
+	if rp.Ctx == nil {
+		return false
+	}
+	return rp.Ctx.Err() != nil
 }
 
 // ExecPool resolves the executor pool for this run.

@@ -20,7 +20,7 @@ import (
 //
 //	go test -bench BenchmarkForallPar -benchmem ./internal/raja/
 func BenchmarkForallPar(b *testing.B) {
-	lanes := 2 * maxInt(2, runtime.GOMAXPROCS(0))
+	lanes := 2 * max(2, runtime.GOMAXPROCS(0))
 	for _, n := range []int{1_000, 10_000, 100_000, 1_000_000} {
 		x := make([]float64, n)
 		y := make([]float64, n)
@@ -53,17 +53,10 @@ func BenchmarkForallPar(b *testing.B) {
 	}
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // BenchmarkForallGPU compares pooled and spawned dynamic (block-cursor)
 // dispatch, the GPU back-end shape.
 func BenchmarkForallGPU(b *testing.B) {
-	lanes := 2 * maxInt(2, runtime.GOMAXPROCS(0))
+	lanes := 2 * max(2, runtime.GOMAXPROCS(0))
 	for _, n := range []int{10_000, 1_000_000} {
 		y := make([]float64, n)
 		body := func(c Ctx, i int) { y[i] += 1 }
@@ -102,7 +95,7 @@ func BenchmarkForallSchedules(b *testing.B) {
 	const n = 100_000
 	y := make([]float64, n)
 	body := func(c Ctx, i int) { y[i] += 1 }
-	lanes := 2 * maxInt(2, runtime.GOMAXPROCS(0))
+	lanes := 2 * max(2, runtime.GOMAXPROCS(0))
 	for _, sched := range []Schedule{ScheduleStatic, ScheduleDynamic, ScheduleGuided} {
 		b.Run(sched.String(), func(b *testing.B) {
 			pool := NewPool(lanes)
@@ -122,7 +115,7 @@ func BenchmarkForallSchedules(b *testing.B) {
 // parallel region, pool versus spawn.
 func BenchmarkPoolDispatch(b *testing.B) {
 	body := func(c Ctx, i int) {}
-	lanes := 2 * maxInt(2, runtime.GOMAXPROCS(0))
+	lanes := 2 * max(2, runtime.GOMAXPROCS(0))
 	n := 64 * lanes
 	chunk := (n + lanes - 1) / lanes
 	chunks := (n + chunk - 1) / chunk
