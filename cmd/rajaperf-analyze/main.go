@@ -6,12 +6,14 @@
 //	rajaperf-analyze -dir runs/ -metric time -top 15 # slowest kernels
 //	rajaperf-analyze -dir runs/ -groupby machine     # per-machine tables
 //	rajaperf-analyze -dir runs/ -speedup SPR-DDR     # speedups vs baseline
+//	rajaperf-analyze -dir runs/ -export csv          # dump metric + metadata tables
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 
 	"rajaperf/internal/campaign"
@@ -20,25 +22,30 @@ import (
 
 func main() {
 	var (
-		dir     = flag.String("dir", ".", "directory of .cali.json profiles")
-		metric  = flag.String("metric", "time", "metric to aggregate")
-		top     = flag.Int("top", 0, "show only the top-N nodes by mean value")
-		groupby = flag.String("groupby", "", "metadata key to group profiles by")
-		speedup = flag.String("speedup", "", "baseline machine for a speedup table")
-		tree    = flag.Int("tree", -1, "render the call tree of the given profile index")
+		dir       = flag.String("dir", ".", "directory of .cali.json profiles")
+		metric    = flag.String("metric", "time", "metric to aggregate")
+		top       = flag.Int("top", 0, "show only the top-N nodes by mean value")
+		groupby   = flag.String("groupby", "", "metadata key to group profiles by")
+		speedup   = flag.String("speedup", "", "baseline machine for a speedup table")
+		tree      = flag.Int("tree", -1, "render the call tree of the given profile index")
+		export    = flag.String("export", "", "dump the composed tables: csv or json")
+		exportDir = flag.String("export-dir", ".", "directory the -export files are written to")
 	)
 	flag.Parse()
 
-	if err := run(*dir, *metric, *top, *groupby, *speedup, *tree); err != nil {
+	if err := run(*dir, *metric, *top, *groupby, *speedup, *tree, *export, *exportDir); err != nil {
 		fmt.Fprintln(os.Stderr, "rajaperf-analyze:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dir, metric string, top int, groupby, speedupBase string, tree int) error {
+func run(dir, metric string, top int, groupby, speedupBase string, tree int, export, exportDir string) error {
 	tk, err := thicket.FromDir(dir)
 	if err != nil {
 		return err
+	}
+	if export != "" {
+		return exportTables(tk, export, exportDir)
 	}
 	// Campaign-produced directories carry a manifest; summarize it so
 	// incomplete or partially failed campaigns are visible at a glance.
@@ -78,6 +85,42 @@ func run(dir, metric string, top int, groupby, speedupBase string, tree int) err
 	}
 	printStats(tk, metric, top)
 	return nil
+}
+
+// exportTables dumps the composed DataFrame and metadata table:
+// format csv writes metrics.csv and metadata.csv, format json writes
+// thicket.json holding both components.
+func exportTables(tk *thicket.Thicket, format, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, fn func(f *os.File) error) error {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing %s: %w", path, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+		return nil
+	}
+	switch format {
+	case "csv":
+		if err := write("metrics.csv", func(f *os.File) error { return tk.WriteMetricsCSV(f) }); err != nil {
+			return err
+		}
+		return write("metadata.csv", func(f *os.File) error { return tk.WriteMetadataCSV(f) })
+	case "json":
+		return write("thicket.json", func(f *os.File) error { return tk.WriteJSON(f) })
+	default:
+		return fmt.Errorf("unknown -export format %q (want csv or json)", format)
+	}
 }
 
 func printStats(tk *thicket.Thicket, metric string, top int) {

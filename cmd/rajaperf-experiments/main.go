@@ -12,7 +12,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"rajaperf/internal/analysis"
@@ -27,6 +29,8 @@ func main() {
 		thresh  = flag.Float64("threshold", 0, "Ward dendrogram cut distance (0 = 1.4)")
 		svgdir  = flag.String("svgdir", "", "also write figure SVGs into this directory")
 		jobs    = flag.Int("jobs", 1, "concurrent per-machine suite collections")
+		export  = flag.String("export", "", "also dump the composed cross-machine thicket: csv or json")
+		exdir   = flag.String("export-dir", ".", "directory the -export files are written to")
 	)
 	flag.Parse()
 
@@ -43,6 +47,52 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote %d figure SVGs to %s\n", len(paths), *svgdir)
+	}
+	if *export != "" {
+		if err := exportThicket(s, *export, *exdir); err != nil {
+			fmt.Fprintln(os.Stderr, "rajaperf-experiments:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// exportThicket composes all four paper machines into one Thicket and
+// dumps its DataFrame + metadata tables, so the modeled campaign can be
+// picked up by external tooling (pandas, Thicket itself).
+func exportThicket(s *analysis.Session, format, dir string) error {
+	tk, err := s.Thicket(machine.Paper()...)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, fn func(w io.Writer) error) error {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing %s: %w", path, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+		return nil
+	}
+	switch format {
+	case "csv":
+		if err := write("metrics.csv", tk.WriteMetricsCSV); err != nil {
+			return err
+		}
+		return write("metadata.csv", tk.WriteMetadataCSV)
+	case "json":
+		return write("thicket.json", tk.WriteJSON)
+	default:
+		return fmt.Errorf("unknown -export format %q (want csv or json)", format)
 	}
 }
 

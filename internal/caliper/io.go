@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -45,14 +46,35 @@ func ReadFile(path string) (*Profile, error) {
 	return &p, nil
 }
 
-// ReadDir reads every profile file under dir (by FileExt), sorted by file
-// name for deterministic composition order. Only files carrying the full
-// FileExt suffix are profiles; other .json files a run directory
+// decodeWorkers bounds the parallel JSON decoders WalkDir runs. Capped
+// so a campaign-scale directory doesn't hold hundreds of decoded
+// profiles in flight at once.
+func decodeWorkers(files int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	if w > files {
+		w = files
+	}
+	return w
+}
+
+// WalkDir streams every profile file under dir (by FileExt) through fn in
+// sorted file-name order — the deterministic composition order — while
+// decoding up to a bounded number of files concurrently. At most one
+// decoded profile per worker is in flight, so campaign-scale directories
+// ingest without materializing the whole profile set. Only files carrying
+// the full FileExt suffix are profiles; other .json files a run directory
 // accumulates (campaign manifests, Chrome traces) are ignored.
-func ReadDir(dir string) ([]*Profile, error) {
+//
+// Decode errors surface in sorted order: the error returned names the
+// first broken file by that order, independent of worker timing. A
+// non-nil error from fn stops the walk.
+func WalkDir(dir string, fn func(path string, p *Profile) error) error {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, fmt.Errorf("caliper: %w", err)
+		return fmt.Errorf("caliper: %w", err)
 	}
 	var names []string
 	for _, e := range entries {
@@ -61,13 +83,80 @@ func ReadDir(dir string) ([]*Profile, error) {
 		}
 	}
 	sort.Strings(names)
-	ps := make([]*Profile, 0, len(names))
-	for _, n := range names {
-		p, err := ReadFile(filepath.Join(dir, n))
-		if err != nil {
-			return nil, err
+	workers := decodeWorkers(len(names))
+	if workers <= 1 {
+		for _, n := range names {
+			path := filepath.Join(dir, n)
+			p, err := ReadFile(path)
+			if err != nil {
+				return err
+			}
+			if err := fn(path, p); err != nil {
+				return err
+			}
 		}
+		return nil
+	}
+
+	type result struct {
+		idx int
+		p   *Profile
+		err error
+	}
+	sem := make(chan struct{}, workers)
+	results := make(chan result, workers)
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for i, n := range names {
+			select {
+			case sem <- struct{}{}:
+			case <-stop:
+				return
+			}
+			go func(i int, path string) {
+				p, err := ReadFile(path)
+				select {
+				case results <- result{i, p, err}:
+				case <-stop:
+				}
+				<-sem
+			}(i, filepath.Join(dir, n))
+		}
+	}()
+
+	pending := map[int]result{}
+	for next := 0; next < len(names); {
+		r, ok := pending[next]
+		if !ok {
+			rr := <-results
+			pending[rr.idx] = rr
+			continue
+		}
+		delete(pending, next)
+		if r.err != nil {
+			return r.err
+		}
+		if err := fn(filepath.Join(dir, names[next]), r.p); err != nil {
+			return err
+		}
+		next++
+	}
+	return nil
+}
+
+// ReadDir reads every profile file under dir (by FileExt), sorted by file
+// name for deterministic composition order, decoding files on WalkDir's
+// bounded worker pool. See WalkDir for the file-selection and error
+// contract.
+func ReadDir(dir string) ([]*Profile, error) {
+	var ps []*Profile
+	err := WalkDir(dir, func(_ string, p *Profile) error {
 		ps = append(ps, p)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return ps, nil
 }

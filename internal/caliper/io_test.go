@@ -6,8 +6,11 @@ package caliper
 // broken file when one fails.
 
 import (
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
+	"slices"
 	"strings"
 	"testing"
 )
@@ -77,5 +80,81 @@ func TestReadDirIgnoresNonProfileJSON(t *testing.T) {
 	}
 	if len(ps) != 2 {
 		t.Errorf("ReadDir = %d profiles, want 2 (sidecar files must be ignored)", len(ps))
+	}
+}
+
+func TestWalkDirDeterministicOrderAndErrorPosition(t *testing.T) {
+	dir := t.TempDir()
+	// Enough files to engage the parallel decoders when GOMAXPROCS > 1;
+	// on a single-CPU box the serial fallback must behave identically.
+	var want []string
+	for i := 0; i < 23; i++ {
+		name := fmt.Sprintf("run%02d%s", i, FileExt)
+		c := NewRecorder()
+		c.AddMetadata("seq", i)
+		c.Region("K", func() {})
+		if err := c.Profile().WriteFile(filepath.Join(dir, name)); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, name)
+	}
+
+	var got []string
+	var seqs []int
+	err := WalkDir(dir, func(path string, p *Profile) error {
+		got = append(got, filepath.Base(path))
+		seqs = append(seqs, int(p.Metadata["seq"].(float64))) // ints round-trip as float64
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(got, want) {
+		t.Fatalf("WalkDir order = %v, want sorted %v", got, want)
+	}
+	for i, s := range seqs {
+		if s != i {
+			t.Fatalf("profile %d carries seq %d: path and payload disagree", i, s)
+		}
+	}
+
+	// A decode error surfaces at its sorted position: files after it must
+	// not reach fn, files before it must all have been delivered.
+	bad := filepath.Join(dir, "run10"+FileExt)
+	if err := os.WriteFile(bad, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got = got[:0]
+	err = WalkDir(dir, func(path string, p *Profile) error {
+		got = append(got, filepath.Base(path))
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "run10"+FileExt) {
+		t.Fatalf("WalkDir error = %v, want it to name run10", err)
+	}
+	if !slices.Equal(got, want[:10]) {
+		t.Fatalf("delivered before error = %v, want %v", got, want[:10])
+	}
+}
+
+func TestWalkDirStopsOnCallbackError(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 8; i++ {
+		writeValidProfile(t, filepath.Join(dir, fmt.Sprintf("p%d%s", i, FileExt)))
+	}
+	calls := 0
+	sentinel := errors.New("stop here")
+	err := WalkDir(dir, func(path string, p *Profile) error {
+		calls++
+		if calls == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("WalkDir = %v, want the callback error", err)
+	}
+	if calls != 3 {
+		t.Fatalf("callback ran %d times after erroring on the 3rd", calls)
 	}
 }

@@ -8,8 +8,11 @@ package cluster
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
+
+	"rajaperf/internal/raja"
 )
 
 // Merge records one agglomeration step: clusters A and B (indices into the
@@ -56,32 +59,17 @@ func Ward(vectors [][]float64, labels []string) (*Linkage, error) {
 	// Active clusters tracked by centroid and size; Ward distance via
 	// the Lance-Williams centroid formula:
 	// d(A,B)^2 = (2*|A|*|B|/(|A|+|B|)) * ||c_A - c_B||^2.
-	type node struct {
-		id       int
-		size     int
-		centroid []float64
-	}
-	active := make([]node, n)
+	active := make([]wardNode, n)
 	for i := range active {
-		active[i] = node{id: i, size: 1, centroid: append([]float64(nil), vectors[i]...)}
+		active[i] = wardNode{id: i, size: 1, centroid: append([]float64(nil), vectors[i]...)}
 	}
 
 	link := &Linkage{N: n, labels: append([]string(nil), labels...)}
 	next := n
 	for len(active) > 1 {
-		// Find the closest pair.
-		bi, bj, best := -1, -1, math.Inf(1)
-		for i := 0; i < len(active); i++ {
-			for j := i + 1; j < len(active); j++ {
-				d := wardDist(active[i].size, active[j].size,
-					active[i].centroid, active[j].centroid)
-				if d < best {
-					best, bi, bj = d, i, j
-				}
-			}
-		}
+		bi, bj, best := closestPair(active)
 		a, b := active[bi], active[bj]
-		merged := node{
+		merged := wardNode{
 			id:       next,
 			size:     a.size + b.size,
 			centroid: make([]float64, dim),
@@ -99,6 +87,73 @@ func Ward(vectors [][]float64, labels []string) (*Linkage, error) {
 		active[bi] = merged
 	}
 	return link, nil
+}
+
+// wardNode is one active cluster during agglomeration.
+type wardNode struct {
+	id       int
+	size     int
+	centroid []float64
+}
+
+// pairSearchThreshold is the active-cluster count below which the
+// closest-pair scan stays serial: under it the O(k^2) sweep is cheaper
+// than a fan-out.
+const pairSearchThreshold = 96
+
+// closestPair returns the indices and squared Ward distance of the
+// nearest active pair. Large fronts fan the row scan across the raja
+// pool; each lane keeps a local argmin and the reduction applies the
+// same (distance, i, j) lexicographic tie-break as the serial loop, so
+// the result is identical for any worker count.
+func closestPair(active []wardNode) (int, int, float64) {
+	k := len(active)
+	rowScan := func(i int) (int, float64) {
+		bj, best := -1, math.Inf(1)
+		for j := i + 1; j < k; j++ {
+			d := wardDist(active[i].size, active[j].size,
+				active[i].centroid, active[j].centroid)
+			if d < best {
+				best, bj = d, j
+			}
+		}
+		return bj, best
+	}
+	if k < pairSearchThreshold {
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < k-1; i++ {
+			if j, d := rowScan(i); d < best {
+				best, bi, bj = d, i, j
+			}
+		}
+		return bi, bj, best
+	}
+
+	type argmin struct {
+		i, j int
+		d    float64
+	}
+	workers := runtime.GOMAXPROCS(0)
+	locals := make([]argmin, workers)
+	lanes := raja.Default().StaticChunks(workers, k-1, func(w, lo, hi int) {
+		lm := argmin{i: -1, j: -1, d: math.Inf(1)}
+		for i := lo; i < hi; i++ {
+			if j, d := rowScan(i); d < lm.d {
+				lm = argmin{i: i, j: j, d: d}
+			}
+		}
+		locals[w] = lm
+	})
+	bi, bj, best := -1, -1, math.Inf(1)
+	for _, lm := range locals[:lanes] {
+		// Chunks are contiguous and ascending in i, so strict < already
+		// prefers the lexicographically smallest pair among ties across
+		// workers — matching the serial scan exactly.
+		if lm.j >= 0 && lm.d < best {
+			best, bi, bj = lm.d, lm.i, lm.j
+		}
+	}
+	return bi, bj, best
 }
 
 func wardDist(na, nb int, ca, cb []float64) float64 {

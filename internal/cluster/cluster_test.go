@@ -1,7 +1,9 @@
 package cluster
 
 import (
+	"fmt"
 	"math"
+	"math/rand"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -169,5 +171,60 @@ func TestDendrogramSVG(t *testing.T) {
 	lone, _ := Ward([][]float64{{1, 2}}, []string{"only"})
 	if out := lone.SVG(1.0); !strings.Contains(out, "only") {
 		t.Error("single-leaf dendrogram broken")
+	}
+}
+
+// TestClosestPairParallelMatchesSerial checks the fanned-out pair search
+// against the plain double loop on a front large enough to engage the
+// pool, including exact-tie inputs where the lexicographic (i, j)
+// tie-break decides the winner.
+func TestClosestPairParallelMatchesSerial(t *testing.T) {
+	const n = 3 * pairSearchThreshold
+	rng := rand.New(rand.NewSource(42))
+	active := make([]wardNode, n)
+	for i := range active {
+		// Coordinates on a coarse grid force duplicate points, so many
+		// pairs share the exact minimum distance.
+		c := []float64{float64(rng.Intn(7)), float64(rng.Intn(7)), float64(rng.Intn(7))}
+		active[i] = wardNode{id: i, size: 1 + rng.Intn(3), centroid: c}
+	}
+
+	si, sj, sd := -1, -1, math.Inf(1)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := wardDist(active[i].size, active[j].size, active[i].centroid, active[j].centroid)
+			if d < sd {
+				sd, si, sj = d, i, j
+			}
+		}
+	}
+	gi, gj, gd := closestPair(active)
+	if gi != si || gj != sj || gd != sd {
+		t.Fatalf("closestPair = (%d, %d, %v), serial scan (%d, %d, %v)", gi, gj, gd, si, sj, sd)
+	}
+
+	// The full clustering must also be invariant: Ward on a shuffled-size
+	// corpus gives byte-identical merge sequences however the scan runs.
+	vecs := make([][]float64, n)
+	labels := make([]string, n)
+	for i := range vecs {
+		vecs[i] = active[i].centroid
+		labels[i] = fmt.Sprintf("k%03d", i)
+	}
+	l1, err := Ward(vecs, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Ward(vecs, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l1.Merges) != len(l2.Merges) {
+		t.Fatalf("merge counts differ: %d vs %d", len(l1.Merges), len(l2.Merges))
+	}
+	for i := range l1.Merges {
+		if l1.Merges[i] != l2.Merges[i] {
+			t.Fatalf("merge %d differs: %+v vs %+v", i, l1.Merges[i], l2.Merges[i])
+		}
 	}
 }

@@ -1,0 +1,354 @@
+package frame
+
+import (
+	"fmt"
+	"unsafe"
+)
+
+// MissingKey is the group key assigned to profiles whose metadata lacks
+// the grouped key entirely (distinct from a key that is present with a
+// nil value, which stringifies as fmt.Sprint does).
+const MissingKey = "<missing>"
+
+// pathSepByte joins path segments into dictionary keys. It is an
+// internal encoding detail only; segment slices are what callers see.
+const pathSepByte = 0x1f
+
+// Frame is the immutable columnar store behind a Thicket: one entry per
+// (node, profile) row across dictionary-encoded index columns and dense
+// metric columns. All accessors returning slices share the underlying
+// storage and must be treated as read-only; concurrent readers are safe
+// once the Frame is built.
+type Frame struct {
+	nodes   *Dict // node names (last path segment)
+	paths   *Dict // full path keys
+	metrics *Dict // metric-name schema
+
+	pathSegs [][]string // per path id: the path's segments
+	pathNode []int32    // per path id: node id of the last segment
+
+	nodeIDs []int32   // per row
+	pathIDs []int32   // per row
+	profIDs []int32   // per row
+	cols    []*Column // per metric id; padded to NumRows after build
+
+	meta       []map[string]any // per profile
+	profStarts []int32          // per profile: first row (rows are contiguous per profile)
+
+	index    rowIndex  // (profile, node) -> first row; built by finish
+	nodeRows [][]int32 // per node id: rows carrying the node, in row order; built by finish
+}
+
+func indexKey(prof, node int32) uint64 {
+	return uint64(uint32(prof))<<32 | uint64(uint32(node))
+}
+
+// rowIndex is a fixed-size open-addressing (profile, node) -> row table,
+// sized once at seal time. Slots hold key+1 so the zero word means
+// empty; node id -1 is never indexed, so key+1 cannot wrap.
+type rowIndex struct {
+	keys []uint64
+	rows []int32
+}
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+func newRowIndex(n int) rowIndex {
+	size := 16
+	for size < n+n/2 { // load factor <= 2/3
+		size <<= 1
+	}
+	return rowIndex{keys: make([]uint64, size), rows: make([]int32, size)}
+}
+
+// put stores k -> r, overwriting any existing entry for k.
+func (ix *rowIndex) put(k uint64, r int32) {
+	mask := uint64(len(ix.keys) - 1)
+	i := mix64(k) & mask
+	for {
+		kk := ix.keys[i]
+		if kk == 0 || kk == k+1 {
+			ix.keys[i] = k + 1
+			ix.rows[i] = r
+			return
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (ix *rowIndex) get(k uint64) (int32, bool) {
+	if len(ix.keys) == 0 {
+		return 0, false
+	}
+	mask := uint64(len(ix.keys) - 1)
+	i := mix64(k) & mask
+	for {
+		kk := ix.keys[i]
+		if kk == k+1 {
+			return ix.rows[i], true
+		}
+		if kk == 0 {
+			return 0, false
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// NumRows returns the row count.
+func (f *Frame) NumRows() int { return len(f.nodeIDs) }
+
+// NumProfiles returns the composed profile count.
+func (f *Frame) NumProfiles() int { return len(f.meta) }
+
+// Meta returns profile p's metadata map (shared; read-only).
+func (f *Frame) Meta(p int32) map[string]any {
+	if p < 0 || int(p) >= len(f.meta) {
+		return nil
+	}
+	return f.meta[p]
+}
+
+// MetaString returns the stringified metadata value of key for profile p,
+// or MissingKey when the profile does not carry the key at all.
+func (f *Frame) MetaString(p int32, key string) string {
+	v, ok := f.meta[p][key]
+	if !ok {
+		return MissingKey
+	}
+	return fmt.Sprint(v)
+}
+
+// NodeDict returns the node-name dictionary.
+func (f *Frame) NodeDict() *Dict { return f.nodes }
+
+// MetricDict returns the metric-name schema.
+func (f *Frame) MetricDict() *Dict { return f.metrics }
+
+// NodeIDs returns the per-row node-id column (shared; read-only).
+func (f *Frame) NodeIDs() []int32 { return f.nodeIDs }
+
+// ProfIDs returns the per-row profile-id column (shared; read-only).
+func (f *Frame) ProfIDs() []int32 { return f.profIDs }
+
+// PathSegsAt returns row r's path segments (shared; read-only).
+func (f *Frame) PathSegsAt(r int32) []string { return f.pathSegs[f.pathIDs[r]] }
+
+// Column returns the column of the named metric, or nil when the metric
+// is not in the schema.
+func (f *Frame) Column(metric string) *Column {
+	id, ok := f.metrics.Lookup(metric)
+	if !ok {
+		return nil
+	}
+	return f.cols[id]
+}
+
+// ColumnAt returns the column with schema id i.
+func (f *Frame) ColumnAt(i int32) *Column { return f.cols[i] }
+
+// Row returns the first row at (node, profile), the ingest-built index
+// hit behind O(1) Metric lookups.
+func (f *Frame) Row(node, prof int32) (int32, bool) {
+	return f.index.get(indexKey(prof, node))
+}
+
+// NodeRows returns every row carrying node, in row order (shared;
+// read-only).
+func (f *Frame) NodeRows(node int32) []int32 {
+	if node < 0 || int(node) >= len(f.nodeRows) {
+		return nil
+	}
+	return f.nodeRows[node]
+}
+
+// ProfileRange returns profile p's contiguous row range [lo, hi).
+func (f *Frame) ProfileRange(p int32) (lo, hi int32) {
+	lo = f.profStarts[p]
+	if int(p)+1 < len(f.profStarts) {
+		hi = f.profStarts[p+1]
+	} else {
+		hi = int32(len(f.nodeIDs))
+	}
+	return lo, hi
+}
+
+// finish seals the frame: pads every column to the final row count and
+// builds the (node, profile) row index and the per-node postings lists
+// in one dense pass — deferring these to seal time keeps them off the
+// per-row ingest path and lets both be sized exactly.
+func (f *Frame) finish() *Frame {
+	n := len(f.nodeIDs)
+	for _, c := range f.cols {
+		c.pad(n)
+	}
+
+	counts := make([]int32, f.nodes.Len())
+	valid := 0
+	for _, id := range f.nodeIDs {
+		if id >= 0 {
+			counts[id]++
+			valid++
+		}
+	}
+	backing := make([]int32, valid)
+	f.nodeRows = make([][]int32, len(counts))
+	off := int32(0)
+	for id, c := range counts {
+		f.nodeRows[id] = backing[off : off : off+c]
+		off += c
+	}
+	f.index = newRowIndex(valid)
+	// Descending row order with overwriting stores: the lowest row per
+	// (profile, node) key writes last, so the index is first-wins with a
+	// single probe per row.
+	profIDs := f.profIDs
+	for r := n - 1; r >= 0; r-- {
+		id := f.nodeIDs[r]
+		if id < 0 {
+			continue
+		}
+		f.index.put(indexKey(profIDs[r], id), int32(r))
+	}
+	for r, id := range f.nodeIDs {
+		if id >= 0 {
+			f.nodeRows[id] = append(f.nodeRows[id], int32(r))
+		}
+	}
+	return f
+}
+
+// Builder ingests profiles row by row into a new Frame. It is not safe
+// for concurrent use; parallel ingest builds one Builder per shard and
+// Merges the results.
+type Builder struct {
+	f      *Frame
+	keyBuf []byte // scratch for path-key lookups
+	colCap int    // row capacity hint for newly interned metric columns
+	names  nameCache
+}
+
+// nameCache memoizes metric-name interning by string identity: profiles
+// produced in-process (suite kernels, measurement services, the
+// campaign orchestrator) pass the same literal or hoisted name strings
+// to the Recorder on every record, so the (data pointer, length) pair
+// repeats across rows and resolves without hashing any bytes. Two
+// strings with equal data pointer and length are the same string, so a
+// hit is always correct; JSON-decoded profiles allocate fresh keys and
+// simply fall through to the dictionary probe.
+type nameCache struct {
+	ptrs [nameCacheSize]*byte
+	lens [nameCacheSize]int
+	ids  [nameCacheSize]int32
+}
+
+const nameCacheSize = 128
+
+func (nc *nameCache) slot(s string) uintptr {
+	p := uintptr(unsafe.Pointer(unsafe.StringData(s)))
+	return (p>>3 ^ p>>10 ^ uintptr(len(s))) & (nameCacheSize - 1)
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{f: &Frame{
+		nodes:   NewDict(),
+		paths:   NewDict(),
+		metrics: NewDict(),
+	}}
+}
+
+// Reserve presizes the builder for about rows total rows, so ingest of a
+// known-size profile set never regrows the index columns or metric
+// columns. Call before the first StartProfile; a zero or negative hint
+// is ignored.
+func (b *Builder) Reserve(rows int) {
+	if rows <= 0 || len(b.f.nodeIDs) > 0 {
+		return
+	}
+	f := b.f
+	b.colCap = rows
+	f.nodeIDs = make([]int32, 0, rows)
+	f.pathIDs = make([]int32, 0, rows)
+	f.profIDs = make([]int32, 0, rows)
+}
+
+// StartProfile opens the next profile and returns its id. Subsequent
+// AddRow calls attach to it. The metadata map is shared, not copied —
+// the frame is read-only and ingest takes ownership of the profile
+// (Merge shares source metadata the same way).
+func (b *Builder) StartProfile(meta map[string]any) int32 {
+	f := b.f
+	id := int32(len(f.meta))
+	if meta == nil {
+		meta = map[string]any{}
+	}
+	f.meta = append(f.meta, meta)
+	f.profStarts = append(f.profStarts, int32(len(f.nodeIDs)))
+	return id
+}
+
+// AddRow appends one (node, profile) row for the profile most recently
+// started, interning its path and metric names and filling the metric
+// columns. Path segments are copied on first intern only; resolving an
+// already-known path or metric name allocates nothing.
+func (b *Builder) AddRow(path []string, metrics map[string]float64) {
+	f := b.f
+	if len(f.meta) == 0 {
+		panic("frame: AddRow before StartProfile")
+	}
+	row := len(f.nodeIDs)
+	prof := int32(len(f.meta) - 1)
+
+	buf := b.keyBuf[:0]
+	for i, s := range path {
+		if i > 0 {
+			buf = append(buf, pathSepByte)
+		}
+		buf = append(buf, s...)
+	}
+	b.keyBuf = buf
+	pid, known := f.paths.lookupBytes(buf)
+	if !known {
+		pid = f.paths.Intern(string(buf))
+		segs := append([]string(nil), path...)
+		f.pathSegs = append(f.pathSegs, segs)
+		node := int32(-1)
+		if len(segs) > 0 {
+			node = f.nodes.Intern(segs[len(segs)-1])
+		}
+		f.pathNode = append(f.pathNode, node)
+	}
+	f.nodeIDs = append(f.nodeIDs, f.pathNode[pid])
+	f.pathIDs = append(f.pathIDs, pid)
+	f.profIDs = append(f.profIDs, prof)
+
+	for name, v := range metrics {
+		var mi int32
+		nc := &b.names
+		if i := nc.slot(name); nc.ptrs[i] == unsafe.StringData(name) && nc.lens[i] == len(name) {
+			mi = nc.ids[i]
+		} else {
+			mi = f.metrics.Intern(name)
+			nc.ptrs[i] = unsafe.StringData(name)
+			nc.lens[i] = len(name)
+			nc.ids[i] = mi
+		}
+		for int(mi) >= len(f.cols) {
+			f.cols = append(f.cols, newColumn(b.colCap))
+		}
+		f.cols[mi].set(row, v)
+	}
+}
+
+// Finish seals and returns the frame. The builder must not be used
+// afterwards.
+func (b *Builder) Finish() *Frame {
+	f := b.f
+	b.f = nil
+	return f.finish()
+}

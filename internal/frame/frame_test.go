@@ -1,0 +1,206 @@
+package frame
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDictInternLookup(t *testing.T) {
+	d := NewDict()
+	names := []string{"time", "metric_00", "metric_01", "metric_10", "metric_11", "", "a"}
+	for i, n := range names {
+		if id := d.Intern(n); id != int32(i) {
+			t.Fatalf("Intern(%q) = %d, want %d", n, id, i)
+		}
+	}
+	for i, n := range names {
+		if id := d.Intern(n); id != int32(i) {
+			t.Fatalf("re-Intern(%q) = %d, want %d", n, id, i)
+		}
+		id, ok := d.Lookup(n)
+		if !ok || id != int32(i) {
+			t.Fatalf("Lookup(%q) = %d, %v", n, id, ok)
+		}
+		if got, ok := d.lookupBytes([]byte(n)); !ok || got != int32(i) {
+			t.Fatalf("lookupBytes(%q) = %d, %v", n, got, ok)
+		}
+		if d.Name(int32(i)) != n {
+			t.Fatalf("Name(%d) = %q", i, d.Name(int32(i)))
+		}
+	}
+	if _, ok := d.Lookup("absent"); ok {
+		t.Fatal("Lookup(absent) = ok")
+	}
+	if !reflect.DeepEqual(d.Names(), names) {
+		t.Fatalf("Names() = %v", d.Names())
+	}
+}
+
+func TestDictGrowKeepsIDs(t *testing.T) {
+	d := NewDict()
+	var names []string
+	for i := 0; i < 500; i++ {
+		names = append(names, string(rune('A'+i%26))+string(rune('a'+i/26)))
+	}
+	for _, n := range names {
+		d.Intern(n)
+	}
+	for i, n := range names {
+		if id, ok := d.Lookup(n); !ok || id != int32(i) {
+			t.Fatalf("after grow: Lookup(%q) = %d, %v, want %d", n, id, ok, i)
+		}
+	}
+}
+
+func TestBitmapAndColumn(t *testing.T) {
+	var c Column
+	c.set(0, 1.5)
+	c.set(3, 2.5) // rows 1,2 gap-padded invalid
+	c.pad(6)
+	for i, want := range []struct {
+		v  float64
+		ok bool
+	}{{1.5, true}, {0, false}, {0, false}, {2.5, true}, {0, false}, {0, false}} {
+		v, ok := c.Value(int32(i))
+		if v != want.v || ok != want.ok {
+			t.Fatalf("Value(%d) = %v, %v, want %v, %v", i, v, ok, want.v, want.ok)
+		}
+	}
+	if c.Value(99); c.Valid(99) {
+		t.Fatal("Valid(99) past end")
+	}
+	if !c.AnyValid(nil) {
+		t.Fatal("AnyValid(nil) = false")
+	}
+	if c.AnyValid([]int32{1, 2, 4}) {
+		t.Fatal("AnyValid over invalid rows = true")
+	}
+	if !c.AnyValid([]int32{2, 3}) {
+		t.Fatal("AnyValid including row 3 = false")
+	}
+}
+
+// buildTestFrame: 2 profiles; p0 has kernels A,B (A duplicated), p1 has B,C.
+func buildTestFrame(t *testing.T) *Frame {
+	t.Helper()
+	b := NewBuilder()
+	b.Reserve(5)
+	p0 := b.StartProfile(map[string]any{"machine": "m0"})
+	b.AddRow([]string{"suite", "A"}, map[string]float64{"time": 1, "flops": 10})
+	b.AddRow([]string{"suite", "A"}, map[string]float64{"time": 9}) // dup (node, profile)
+	b.AddRow([]string{"suite", "B"}, map[string]float64{"time": 2})
+	p1 := b.StartProfile(map[string]any{"machine": "m1"})
+	b.AddRow([]string{"suite", "B"}, map[string]float64{"time": 3})
+	b.AddRow([]string{"suite", "C"}, map[string]float64{"flops": 40})
+	if p0 != 0 || p1 != 1 {
+		t.Fatalf("profile ids = %d, %d", p0, p1)
+	}
+	return b.Finish()
+}
+
+func TestBuilderFrameInvariants(t *testing.T) {
+	f := buildTestFrame(t)
+	if f.NumRows() != 5 || f.NumProfiles() != 2 {
+		t.Fatalf("rows = %d, profiles = %d", f.NumRows(), f.NumProfiles())
+	}
+	// Index is first-wins: the duplicate (A, p0) row resolves to row 0.
+	aid, _ := f.NodeDict().Lookup("A")
+	r, ok := f.Row(aid, 0)
+	if !ok || r != 0 {
+		t.Fatalf("Row(A, 0) = %d, %v", r, ok)
+	}
+	if v, ok := f.Column("time").Value(r); !ok || v != 1 {
+		t.Fatalf("time at first (A,0) row = %v, %v", v, ok)
+	}
+	// Postings carry both A rows in row order.
+	if got := f.NodeRows(aid); !reflect.DeepEqual(got, []int32{0, 1}) {
+		t.Fatalf("NodeRows(A) = %v", got)
+	}
+	// Profile ranges are contiguous.
+	if lo, hi := f.ProfileRange(0); lo != 0 || hi != 3 {
+		t.Fatalf("ProfileRange(0) = [%d, %d)", lo, hi)
+	}
+	if lo, hi := f.ProfileRange(1); lo != 3 || hi != 5 {
+		t.Fatalf("ProfileRange(1) = [%d, %d)", lo, hi)
+	}
+	// Missing cells are invalid, not zero.
+	bid, _ := f.NodeDict().Lookup("B")
+	rb, _ := f.Row(bid, 1)
+	if _, ok := f.Column("flops").Value(rb); ok {
+		t.Fatal("flops at (B,1) should be absent")
+	}
+	if f.Column("nope") != nil {
+		t.Fatal("unknown metric column != nil")
+	}
+	if f.MetaString(0, "machine") != "m0" || f.MetaString(0, "absent") != MissingKey {
+		t.Fatalf("MetaString = %q, %q", f.MetaString(0, "machine"), f.MetaString(0, "absent"))
+	}
+}
+
+func TestMergeWithSelectionAndEmptyProfiles(t *testing.T) {
+	f := buildTestFrame(t)
+	// Select only p0's B row (row 2) and p1's C row (row 4): p0 and p1
+	// keep their metadata but collapse to single-row ranges.
+	m := Merge(Part{F: f, Sel: []int32{2, 4}}, Part{F: f})
+	if m.NumProfiles() != 4 {
+		t.Fatalf("profiles = %d", m.NumProfiles())
+	}
+	if m.NumRows() != 2+5 {
+		t.Fatalf("rows = %d", m.NumRows())
+	}
+	// Renumbered profile 2 is source p0 of the full part.
+	aid, ok := m.NodeDict().Lookup("A")
+	if !ok {
+		t.Fatal("A not in merged dict")
+	}
+	r, ok := m.Row(aid, 2)
+	if !ok {
+		t.Fatal("Row(A, 2) missing")
+	}
+	if v, ok := m.Column("time").Value(r); !ok || v != 1 {
+		t.Fatalf("merged time at (A, p2) = %v, %v", v, ok)
+	}
+	// The selected part kept only B for p0: (A, 0) must be absent.
+	if _, ok := m.Row(aid, 0); ok {
+		t.Fatal("Row(A, 0) should be dropped by selection")
+	}
+	// Profile ranges stay contiguous and ordered after merge.
+	prev := int32(0)
+	for p := int32(0); p < int32(m.NumProfiles()); p++ {
+		lo, hi := m.ProfileRange(p)
+		if lo > hi || lo < prev {
+			t.Fatalf("ProfileRange(%d) = [%d, %d) not monotone", p, lo, hi)
+		}
+		prev = hi
+	}
+	// Metadata is shared through the merge.
+	if m.MetaString(1, "machine") != "m1" || m.MetaString(3, "machine") != "m1" {
+		t.Fatal("metadata lost in merge")
+	}
+}
+
+func TestRowIndexPutGet(t *testing.T) {
+	ix := newRowIndex(100)
+	for i := int32(0); i < 100; i++ {
+		ix.put(indexKey(i, i%7), i)
+	}
+	for i := int32(0); i < 100; i++ {
+		r, ok := ix.get(indexKey(i, i%7))
+		if !ok || r != i {
+			t.Fatalf("get(%d) = %d, %v", i, r, ok)
+		}
+	}
+	if _, ok := ix.get(indexKey(500, 500)); ok {
+		t.Fatal("absent key found")
+	}
+	// Overwrite is allowed (finish relies on it for first-wins).
+	ix.put(indexKey(5, 5), 99)
+	if r, _ := ix.get(indexKey(5, 5)); r != 99 {
+		t.Fatalf("overwrite = %d", r)
+	}
+	// Key zero (profile 0, node 0) is representable.
+	var empty rowIndex
+	if _, ok := empty.get(0); ok {
+		t.Fatal("empty index found a key")
+	}
+}

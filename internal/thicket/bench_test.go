@@ -1,0 +1,145 @@
+package thicket
+
+// Campaign-scale composition benchmarks: a synthetic 500-profile corpus
+// shaped like one campaign sweep (machines x variants x schedules x
+// repetition), each profile carrying the suite's ~76 kernel nodes with a
+// realistic metric-column count. BenchmarkThicketCompose measures ingest
+// (the FromProfiles path), BenchmarkThicketGroupStats one
+// groupby-then-aggregate call, and BenchmarkThicketComposeGroupStats the
+// compose+groupstats path the acceptance criteria track: compose once,
+// then run the paper's analysis sweep — aggregate statistics grouped by
+// each metadata dimension for the primary and derived metric columns.
+
+import (
+	"fmt"
+	"testing"
+
+	"rajaperf/internal/caliper"
+)
+
+const (
+	benchProfiles = 500
+	benchKernels  = 76
+	benchMetrics  = 12
+)
+
+var benchMachines = []string{"SPR-DDR", "SPR-HBM", "P9-V100", "EPYC-MI250X"}
+
+// benchCorpus builds the synthetic campaign corpus once per process.
+func benchCorpus() []*caliper.Profile {
+	benchCorpusOnce()
+	return benchCorpusProfiles
+}
+
+var benchCorpusProfiles []*caliper.Profile
+
+func benchCorpusOnce() {
+	if benchCorpusProfiles != nil {
+		return
+	}
+	// Kernel and metric names are built once and reused across records,
+	// like the literal region and counter names the suite's kernels and
+	// measurement services pass to the Recorder.
+	kernelNames := make([]string, benchKernels)
+	for k := range kernelNames {
+		kernelNames[k] = fmt.Sprintf("Kernel_%02d", k)
+	}
+	metricNames := make([]string, benchMetrics)
+	for m := range metricNames {
+		metricNames[m] = fmt.Sprintf("metric_%02d", m)
+	}
+	ps := make([]*caliper.Profile, 0, benchProfiles)
+	for i := 0; i < benchProfiles; i++ {
+		c := caliper.NewRecorder()
+		c.AddMetadata("machine", benchMachines[i%len(benchMachines)])
+		c.AddMetadata("variant", fmt.Sprintf("variant_%d", i%3))
+		c.AddMetadata("executor.schedule", []string{"static", "dynamic", "guided"}[i%3])
+		c.AddMetadata("campaign.spec", fmt.Sprintf("spec-%04d", i))
+		for k := 0; k < benchKernels; k++ {
+			path := []string{"suite", kernelNames[k]}
+			for m := 0; m < benchMetrics; m++ {
+				v := float64(i*benchKernels+k)*1e-6 + float64(m)
+				c.SetMetricAt(path, metricNames[m], v)
+			}
+			c.SetMetricAt(path, "time", float64(k+1)*1e-3*float64(1+i%7))
+		}
+		ps = append(ps, c.Profile())
+	}
+	benchCorpusProfiles = ps
+}
+
+func BenchmarkThicketCompose(b *testing.B) {
+	ps := benchCorpus()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tk := FromProfiles(ps)
+		if tk.NumProfiles() != benchProfiles {
+			b.Fatal("bad compose")
+		}
+	}
+}
+
+func BenchmarkThicketGroupStats(b *testing.B) {
+	tk := FromProfiles(benchCorpus())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gs := tk.GroupStats("machine", "time")
+		if len(gs) != len(benchMachines) {
+			b.Fatalf("groups = %d", len(gs))
+		}
+	}
+}
+
+// benchSweepKeys and benchSweepMetrics define the grouped-aggregation
+// sweep of the compose+groupstats benchmark: every metadata dimension of
+// the campaign crossed with the primary metric and two derived columns,
+// the shape of the paper's per-machine/per-variant/per-tuning analyses.
+var (
+	benchSweepKeys    = []string{"machine", "variant", "executor.schedule"}
+	benchSweepMetrics = []string{"time", "metric_00", "metric_06"}
+)
+
+func BenchmarkThicketComposeGroupStats(b *testing.B) {
+	ps := benchCorpus()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tk := FromProfiles(ps)
+		groups := 0
+		for _, key := range benchSweepKeys {
+			for _, metric := range benchSweepMetrics {
+				groups += len(tk.GroupStats(key, metric))
+			}
+		}
+		if groups == 0 {
+			b.Fatal("no groups")
+		}
+	}
+}
+
+func BenchmarkThicketMetric(b *testing.B) {
+	tk := FromProfiles(benchCorpus())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, ok := tk.Metric("Kernel_40", ProfileID(i%benchProfiles), "time")
+		if !ok || v <= 0 {
+			b.Fatal("metric miss")
+		}
+	}
+}
+
+func BenchmarkThicketFilterGroupBy(b *testing.B) {
+	tk := FromProfiles(benchCorpus())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := tk.Filter(func(md map[string]any) bool { return md["variant"] != "variant_1" })
+		gs := f.GroupBy("executor.schedule")
+		if len(gs) == 0 {
+			b.Fatal("no groups")
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package thicket
+
+// Export writes the two Thicket components — the performance DataFrame
+// and the per-profile metadata table — in interchange formats, walking
+// the columnar storage directly: the metrics table streams row-major
+// over the view's selection with one dictionary resolution per distinct
+// node, and no per-row metric maps are materialized.
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// exportMetricIDs returns the schema ids and names of the metrics with
+// at least one value in the view, name-sorted — the exported column
+// order.
+func (t *Thicket) exportMetricIDs() ([]int32, []string) {
+	dict := t.f.MetricDict()
+	ids := make([]int32, 0, dict.Len())
+	for mi := 0; mi < dict.Len(); mi++ {
+		if t.f.ColumnAt(int32(mi)).AnyValid(t.sel) {
+			ids = append(ids, int32(mi))
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return dict.Name(ids[i]) < dict.Name(ids[j]) })
+	names := make([]string, len(ids))
+	for i, id := range ids {
+		names[i] = dict.Name(id)
+	}
+	return ids, names
+}
+
+// metadataKeys returns the union of metadata keys across profiles,
+// sorted.
+func (t *Thicket) metadataKeys() []string {
+	set := map[string]bool{}
+	for p := 0; p < t.f.NumProfiles(); p++ {
+		for k := range t.f.Meta(int32(p)) {
+			set[k] = true
+		}
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteMetricsCSV writes the view's DataFrame as CSV: one row per
+// (node, profile) entry with profile id, node name, slash-joined path,
+// and one column per metric (empty cell = metric absent on that row).
+func (t *Thicket) WriteMetricsCSV(w io.Writer) error {
+	ids, names := t.exportMetricIDs()
+	cw := csv.NewWriter(w)
+	header := append([]string{"profile", "node", "path"}, names...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	nodes := t.f.NodeDict()
+	nodeIDs := t.f.NodeIDs()
+	profIDs := t.f.ProfIDs()
+	rec := make([]string, len(header))
+	var werr error
+	t.eachRow(func(r int32) {
+		if werr != nil {
+			return
+		}
+		rec[0] = strconv.Itoa(int(profIDs[r]))
+		rec[1] = ""
+		if id := nodeIDs[r]; id >= 0 {
+			rec[1] = nodes.Name(id)
+		}
+		rec[2] = joinPath(t.f.PathSegsAt(r))
+		for i, mi := range ids {
+			rec[3+i] = ""
+			if v, ok := t.f.ColumnAt(mi).Value(r); ok {
+				rec[3+i] = strconv.FormatFloat(v, 'g', -1, 64)
+			}
+		}
+		werr = cw.Write(rec)
+	})
+	if werr != nil {
+		return werr
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteMetadataCSV writes the metadata table as CSV: one row per
+// profile, one column per metadata key (union across profiles; empty
+// cell = key absent on that profile).
+func (t *Thicket) WriteMetadataCSV(w io.Writer) error {
+	keys := t.metadataKeys()
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append([]string{"profile"}, keys...)); err != nil {
+		return err
+	}
+	rec := make([]string, 1+len(keys))
+	for p := 0; p < t.f.NumProfiles(); p++ {
+		rec[0] = strconv.Itoa(p)
+		md := t.f.Meta(int32(p))
+		for i, k := range keys {
+			rec[1+i] = ""
+			if v, ok := md[k]; ok {
+				rec[1+i] = fmt.Sprint(v)
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// exportJSON is the serialized shape of WriteJSON.
+type exportJSON struct {
+	Profiles []map[string]any `json:"profiles"`
+	Metrics  []string         `json:"metrics"`
+	Rows     []exportRowJSON  `json:"rows"`
+}
+
+type exportRowJSON struct {
+	Profile int                `json:"profile"`
+	Node    string             `json:"node"`
+	Path    []string           `json:"path"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// WriteJSON writes both components as one JSON document: the metadata
+// table under "profiles", the metric schema under "metrics", and the
+// DataFrame rows under "rows".
+func (t *Thicket) WriteJSON(w io.Writer) error {
+	ids, names := t.exportMetricIDs()
+	doc := exportJSON{Metrics: names}
+	for p := 0; p < t.f.NumProfiles(); p++ {
+		doc.Profiles = append(doc.Profiles, t.f.Meta(int32(p)))
+	}
+	nodes := t.f.NodeDict()
+	nodeIDs := t.f.NodeIDs()
+	profIDs := t.f.ProfIDs()
+	t.eachRow(func(r int32) {
+		row := exportRowJSON{
+			Profile: int(profIDs[r]),
+			Path:    t.f.PathSegsAt(r),
+			Metrics: map[string]float64{},
+		}
+		if id := nodeIDs[r]; id >= 0 {
+			row.Node = nodes.Name(id)
+		}
+		for i, mi := range ids {
+			if v, ok := t.f.ColumnAt(mi).Value(r); ok {
+				row.Metrics[names[i]] = v
+			}
+		}
+		doc.Rows = append(doc.Rows, row)
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// joinPath renders path segments with "/" for the CSV path column.
+func joinPath(segs []string) string {
+	out := ""
+	for i, s := range segs {
+		if i > 0 {
+			out += "/"
+		}
+		out += s
+	}
+	return out
+}

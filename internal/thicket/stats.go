@@ -3,6 +3,8 @@ package thicket
 import (
 	"math"
 	"sort"
+
+	"rajaperf/internal/raja"
 )
 
 // Stats summarizes one metric for one node across profiles — a row of the
@@ -18,44 +20,80 @@ type Stats struct {
 	Max    float64
 }
 
+// statsParallelThreshold is the gathered-value count above which
+// AggregateStats fans the per-node summaries out across the executor
+// pool; below it the dispatch overhead outweighs the sorts.
+const statsParallelThreshold = 4096
+
 // AggregateStats computes per-node summary statistics of a metric across
-// all composed profiles.
+// all composed profiles in this view. Values gather in one dense pass
+// over the metric column; the per-node summaries (each sorts its sample
+// for the median) fan out across a raja.Pool — the suite analyzing
+// itself with its own executor. Results are deterministic regardless of
+// lane count.
 func (t *Thicket) AggregateStats(metric string) []Stats {
-	byNode := map[string][]float64{}
-	for _, r := range t.rows {
-		if v, ok := r.Metrics[metric]; ok {
-			byNode[r.Node] = append(byNode[r.Node], v)
+	col := t.f.Column(metric)
+	if col == nil {
+		return nil
+	}
+	dict := t.f.NodeDict()
+	byNode := make([][]float64, dict.Len())
+	nodeIDs := t.f.NodeIDs()
+	total := 0
+	t.eachRow(func(r int32) {
+		id := nodeIDs[r]
+		if id < 0 {
+			return
+		}
+		if v, ok := col.Value(r); ok {
+			byNode[id] = append(byNode[id], v)
+			total++
+		}
+	})
+	ids := make([]int32, 0, dict.Len())
+	for id := range byNode {
+		if len(byNode[id]) > 0 {
+			ids = append(ids, int32(id))
 		}
 	}
-	nodes := make([]string, 0, len(byNode))
-	for n := range byNode {
-		nodes = append(nodes, n)
+	sort.Slice(ids, func(i, j int) bool { return dict.Name(ids[i]) < dict.Name(ids[j]) })
+
+	out := make([]Stats, len(ids))
+	fill := func(i int) {
+		out[i] = summarize(dict.Name(ids[i]), metric, byNode[ids[i]])
 	}
-	sort.Strings(nodes)
-	out := make([]Stats, 0, len(nodes))
-	for _, n := range nodes {
-		out = append(out, summarize(n, metric, byNode[n]))
+	if total >= statsParallelThreshold && len(ids) > 1 {
+		raja.Default().StaticChunks(0, len(ids), func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				fill(i)
+			}
+		})
+	} else {
+		for i := range ids {
+			fill(i)
+		}
 	}
 	return out
 }
 
+// summarize computes the summary of xs, reordering xs in place (the
+// median is a quickselect, not a full sort — per-node samples are the
+// inner loop of every grouped aggregation).
 func summarize(node, metric string, xs []float64) Stats {
 	s := Stats{Node: node, Metric: metric, Count: len(xs)}
 	if len(xs) == 0 {
 		return s
 	}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
-	s.Min = sorted[0]
-	s.Max = sorted[len(sorted)-1]
-	if n := len(sorted); n%2 == 1 {
-		s.Median = sorted[n/2]
-	} else {
-		s.Median = 0.5 * (sorted[n/2-1] + sorted[n/2])
-	}
 	sum := 0.0
+	s.Min, s.Max = xs[0], xs[0]
 	for _, x := range xs {
 		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
 	}
 	s.Mean = sum / float64(len(xs))
 	varsum := 0.0
@@ -66,16 +104,78 @@ func summarize(node, metric string, xs []float64) Stats {
 	if len(xs) > 1 {
 		s.Std = math.Sqrt(varsum / float64(len(xs)-1))
 	}
+	s.Median = medianInPlace(xs)
 	return s
 }
 
-// GroupStats partitions the Thicket by a metadata key and computes the
+// medianInPlace returns the median of xs, partially reordering it.
+func medianInPlace(xs []float64) float64 {
+	n := len(xs)
+	k := n / 2
+	quickselect(xs, k)
+	if n%2 == 1 {
+		return xs[k]
+	}
+	// The lower middle is the max of the partition left of k.
+	lo := xs[0]
+	for _, x := range xs[1:k] {
+		if x > lo {
+			lo = x
+		}
+	}
+	return 0.5 * (lo + xs[k])
+}
+
+// quickselect reorders xs so xs[k] is its k-th order statistic and every
+// element left of k is <= xs[k]. Median-of-three pivoting; deterministic
+// for a given input order.
+func quickselect(xs []float64, k int) {
+	lo, hi := 0, len(xs)-1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if xs[mid] < xs[lo] {
+			xs[mid], xs[lo] = xs[lo], xs[mid]
+		}
+		if xs[hi] < xs[lo] {
+			xs[hi], xs[lo] = xs[lo], xs[hi]
+		}
+		if xs[hi] < xs[mid] {
+			xs[hi], xs[mid] = xs[mid], xs[hi]
+		}
+		pivot := xs[mid]
+		i, j := lo, hi
+		for i <= j {
+			for xs[i] < pivot {
+				i++
+			}
+			for xs[j] > pivot {
+				j--
+			}
+			if i <= j {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			return
+		}
+	}
+}
+
+// GroupStats partitions the view by a metadata key and computes the
 // per-node summary statistics of a metric within each group — the
 // groupby-then-aggregate composition the Thicket paper applies to
 // machine and tuning columns, extended here to the executor metadata
 // (executor.schedule, executor.services) and the imbalance metrics the
 // measurement services attach (imbalance_pct, lane_busy_max_sec, ...).
-// Group keys are the stringified metadata values.
+// Group keys are the stringified metadata values; profiles lacking the
+// key aggregate under MissingKey. Each group is a selection view, so the
+// whole pass copies no rows.
 func (t *Thicket) GroupStats(key, metric string) map[string][]Stats {
 	out := map[string][]Stats{}
 	for k, sub := range t.GroupBy(key) {
@@ -87,23 +187,54 @@ func (t *Thicket) GroupStats(key, metric string) map[string][]Stats {
 // SpeedupTable computes, per node, baselineMetric/otherMetric between two
 // Thickets (e.g. modeled time on SPR-DDR vs another machine) — the
 // derivation behind the paper's Fig 7-9 speedup columns. Nodes missing in
-// either Thicket are skipped.
+// either Thicket are skipped. Both sides scan one metric column; node
+// names bridge the two frames' dictionaries.
 func SpeedupTable(baseline, other *Thicket, metric string) map[string]float64 {
-	base := map[string]float64{}
-	for _, r := range baseline.rows {
-		if v, ok := r.Metrics[metric]; ok && v > 0 {
-			base[r.Node] = v
-		}
+	bcol := baseline.f.Column(metric)
+	if bcol == nil {
+		return map[string]float64{}
 	}
+	bdict := baseline.f.NodeDict()
+	base := make([]float64, bdict.Len())
+	bnodeIDs := baseline.f.NodeIDs()
+	baseline.eachRow(func(r int32) {
+		id := bnodeIDs[r]
+		if id < 0 {
+			return
+		}
+		if v, ok := bcol.Value(r); ok && v > 0 {
+			base[id] = v
+		}
+	})
+
 	out := map[string]float64{}
-	for _, r := range other.rows {
-		b, ok := base[r.Node]
-		if !ok {
-			continue
-		}
-		if v, okv := r.Metrics[metric]; okv && v > 0 {
-			out[r.Node] = b / v
-		}
+	ocol := other.f.Column(metric)
+	if ocol == nil {
+		return out
 	}
+	odict := other.f.NodeDict()
+	onodeIDs := other.f.NodeIDs()
+	// Cache the other frame's node-id -> baseline value resolution.
+	lookup := make([]float64, odict.Len())
+	looked := make([]int8, odict.Len()) // 0 unknown, 1 found, 2 absent
+	other.eachRow(func(r int32) {
+		id := onodeIDs[r]
+		if id < 0 {
+			return
+		}
+		if looked[id] == 0 {
+			looked[id] = 2
+			if bid, ok := bdict.Lookup(odict.Name(id)); ok && base[bid] > 0 {
+				lookup[id] = base[bid]
+				looked[id] = 1
+			}
+		}
+		if looked[id] != 1 {
+			return
+		}
+		if v, ok := ocol.Value(r); ok && v > 0 {
+			out[odict.Name(id)] = lookup[id] / v
+		}
+	})
 	return out
 }

@@ -5,19 +5,35 @@
 // per metric, a metadata table with one row per profile, and an aggregated
 // statistics frame — and provides the composition operations the paper
 // uses: Concat, Filter, GroupBy over metadata, and per-node aggregation.
+//
+// Storage is the columnar core of package frame: a Thicket is a *view* —
+// an immutable Frame plus an ascending row selection. Filter, FilterNodes,
+// and GroupBy allocate selections, never row copies; Metric is a
+// (node, profile) index hit; NodeVector walks the node's row postings.
+// Views share the frame, so a Thicket and everything derived from it must
+// be treated as read-only.
 package thicket
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
 	"rajaperf/internal/caliper"
+	"rajaperf/internal/frame"
 )
 
 // ProfileID identifies one run within a Thicket.
 type ProfileID int
 
-// Row is one (node, profile) row of the performance DataFrame.
+// MissingKey is the GroupBy key of profiles whose metadata lacks the
+// grouped key entirely (a key present with a nil value still stringifies
+// to "<nil>").
+const MissingKey = frame.MissingKey
+
+// Row is one (node, profile) row of the performance DataFrame in its
+// materialized, map-per-row form — the pre-columnar compatibility shape
+// Rows() rebuilds on demand.
 type Row struct {
 	Node    string // call-tree node name (kernel name)
 	Path    []string
@@ -25,196 +41,388 @@ type Row struct {
 	Metrics map[string]float64
 }
 
-// Thicket composes multiple performance profiles.
+// Thicket composes multiple performance profiles as a view over a
+// columnar frame.
 type Thicket struct {
-	rows     []Row
-	metadata []map[string]any // indexed by ProfileID
+	f   *frame.Frame
+	sel []int32 // ascending row selection; nil = every frame row
 }
 
-// FromProfiles builds a Thicket from in-memory Caliper profiles.
+// fromFrame wraps a whole frame.
+func fromFrame(f *frame.Frame) *Thicket { return &Thicket{f: f} }
+
+// ingestShardThreshold is the profile count above which FromProfiles
+// shards ingest across workers and merges the shard frames.
+const ingestShardThreshold = 64
+
+// FromProfiles builds a Thicket from in-memory Caliper profiles. Large
+// profile sets are ingested in parallel: contiguous shards build private
+// frames that merge column-major, preserving sequential row order.
 func FromProfiles(ps []*caliper.Profile) *Thicket {
-	t := &Thicket{}
-	for _, p := range ps {
-		t.append(p)
+	workers := runtime.GOMAXPROCS(0)
+	if len(ps) < ingestShardThreshold || workers < 2 {
+		b := frame.NewBuilder()
+		b.Reserve(totalRecords(ps))
+		for _, p := range ps {
+			ingest(b, p)
+		}
+		return fromFrame(b.Finish())
 	}
-	return t
+	if workers > 8 {
+		workers = 8
+	}
+	shard := (len(ps) + workers - 1) / workers
+	parts := make([]frame.Part, 0, workers)
+	done := make(chan int, workers)
+	for lo := 0; lo < len(ps); lo += shard {
+		hi := min(lo+shard, len(ps))
+		parts = append(parts, frame.Part{})
+		go func(slot int, ps []*caliper.Profile) {
+			b := frame.NewBuilder()
+			b.Reserve(totalRecords(ps))
+			for _, p := range ps {
+				ingest(b, p)
+			}
+			parts[slot].F = b.Finish()
+			done <- slot
+		}(len(parts)-1, ps[lo:hi])
+	}
+	for range parts {
+		<-done
+	}
+	return fromFrame(frame.Merge(parts...))
 }
 
-// FromDir reads every profile file under dir into a Thicket.
+// totalRecords sums the DataFrame rows the profiles will ingest to.
+func totalRecords(ps []*caliper.Profile) int {
+	n := 0
+	for _, p := range ps {
+		n += len(p.Records)
+	}
+	return n
+}
+
+// FromDir reads every profile file under dir into a Thicket, streaming:
+// profiles decode on a bounded worker pool (caliper.WalkDir) and feed the
+// frame builder one at a time in sorted-path order, so the full []Profile
+// set is never materialized.
 func FromDir(dir string) (*Thicket, error) {
-	ps, err := caliper.ReadDir(dir)
+	b := frame.NewBuilder()
+	n := 0
+	err := caliper.WalkDir(dir, func(path string, p *caliper.Profile) error {
+		ingest(b, p)
+		n++
+		return nil
+	})
 	if err != nil {
 		return nil, fmt.Errorf("thicket: %w", err)
 	}
-	if len(ps) == 0 {
+	if n == 0 {
 		return nil, fmt.Errorf("thicket: no profiles found in %s", dir)
 	}
-	return FromProfiles(ps), nil
+	return fromFrame(b.Finish()), nil
 }
 
-func (t *Thicket) append(p *caliper.Profile) {
-	id := ProfileID(len(t.metadata))
-	md := make(map[string]any, len(p.Metadata))
-	for k, v := range p.Metadata {
-		md[k] = v
-	}
-	t.metadata = append(t.metadata, md)
-	for _, r := range p.Records {
-		m := make(map[string]float64, len(r.Metrics))
-		for k, v := range r.Metrics {
-			m[k] = v
-		}
-		t.rows = append(t.rows, Row{
-			Node:    r.Node(),
-			Path:    append([]string(nil), r.Path...),
-			Profile: id,
-			Metrics: m,
-		})
+// ingest appends one profile to the builder.
+func ingest(b *frame.Builder, p *caliper.Profile) {
+	b.StartProfile(p.Metadata)
+	for i := range p.Records {
+		b.AddRow(p.Records[i].Path, p.Records[i].Metrics)
 	}
 }
 
 // NumProfiles returns the number of composed runs.
-func (t *Thicket) NumProfiles() int { return len(t.metadata) }
+func (t *Thicket) NumProfiles() int { return t.f.NumProfiles() }
 
-// NumRows returns the DataFrame row count.
-func (t *Thicket) NumRows() int { return len(t.rows) }
-
-// Rows returns the DataFrame rows (shared storage; treat as read-only).
-func (t *Thicket) Rows() []Row { return t.rows }
-
-// Metadata returns the metadata of one profile.
-func (t *Thicket) Metadata(id ProfileID) map[string]any {
-	if int(id) < 0 || int(id) >= len(t.metadata) {
-		return nil
+// NumRows returns the DataFrame row count of this view.
+func (t *Thicket) NumRows() int {
+	if t.sel == nil {
+		return t.f.NumRows()
 	}
-	return t.metadata[id]
+	return len(t.sel)
+}
+
+// eachRow calls fn for every selected row in ascending order.
+func (t *Thicket) eachRow(fn func(r int32)) {
+	if t.sel == nil {
+		for r := int32(0); r < int32(t.f.NumRows()); r++ {
+			fn(r)
+		}
+		return
+	}
+	for _, r := range t.sel {
+		fn(r)
+	}
+}
+
+// Rows materializes the view's DataFrame rows in the legacy map-per-row
+// shape. Paths and metadata are shared with the frame; treat everything
+// as read-only. Prefer the typed accessors — this exists for callers that
+// want to walk raw rows.
+func (t *Thicket) Rows() []Row {
+	out := make([]Row, 0, t.NumRows())
+	nodes := t.f.NodeDict()
+	metricNames := t.f.MetricDict().Names()
+	nodeIDs := t.f.NodeIDs()
+	profIDs := t.f.ProfIDs()
+	t.eachRow(func(r int32) {
+		m := map[string]float64{}
+		for mi, name := range metricNames {
+			if v, ok := t.f.ColumnAt(int32(mi)).Value(r); ok {
+				m[name] = v
+			}
+		}
+		name := ""
+		if id := nodeIDs[r]; id >= 0 {
+			name = nodes.Name(id)
+		}
+		out = append(out, Row{
+			Node:    name,
+			Path:    t.f.PathSegsAt(r),
+			Profile: ProfileID(profIDs[r]),
+			Metrics: m,
+		})
+	})
+	return out
+}
+
+// Metadata returns the metadata of one profile (shared; read-only).
+func (t *Thicket) Metadata(id ProfileID) map[string]any {
+	return t.f.Meta(int32(id))
 }
 
 // MetadataColumn returns the value of key for every profile, as strings.
 func (t *Thicket) MetadataColumn(key string) []string {
-	out := make([]string, len(t.metadata))
-	for i, md := range t.metadata {
-		out[i] = fmt.Sprint(md[key])
+	out := make([]string, t.f.NumProfiles())
+	for i := range out {
+		out[i] = fmt.Sprint(t.f.Meta(int32(i))[key])
 	}
 	return out
 }
 
-// Nodes returns the distinct node names, sorted.
+// Nodes returns the distinct node names in this view, sorted.
 func (t *Thicket) Nodes() []string {
-	set := map[string]bool{}
-	for _, r := range t.rows {
-		set[r.Node] = true
+	dict := t.f.NodeDict()
+	if t.sel == nil {
+		out := append([]string(nil), dict.Names()...)
+		sort.Strings(out)
+		return out
 	}
-	out := make([]string, 0, len(set))
-	for n := range set {
-		out = append(out, n)
+	seen := make([]bool, dict.Len())
+	nodeIDs := t.f.NodeIDs()
+	for _, r := range t.sel {
+		if id := nodeIDs[r]; id >= 0 {
+			seen[id] = true
+		}
+	}
+	var out []string
+	for id, ok := range seen {
+		if ok {
+			out = append(out, dict.Name(int32(id)))
+		}
 	}
 	sort.Strings(out)
 	return out
 }
 
-// MetricNames returns the union of metric column names, sorted.
+// MetricNames returns the metric columns with at least one value in this
+// view, sorted.
 func (t *Thicket) MetricNames() []string {
-	set := map[string]bool{}
-	for _, r := range t.rows {
-		for m := range r.Metrics {
-			set[m] = true
+	var out []string
+	for mi, name := range t.f.MetricDict().Names() {
+		if t.f.ColumnAt(int32(mi)).AnyValid(t.sel) {
+			out = append(out, name)
 		}
-	}
-	out := make([]string, 0, len(set))
-	for m := range set {
-		out = append(out, m)
 	}
 	sort.Strings(out)
 	return out
 }
 
-// Concat composes several Thickets into one, renumbering profiles, the
-// paper's cross-run composition step.
+// Concat composes several Thickets into one, renumbering profiles — the
+// paper's cross-run composition step. Metric cells move as dense
+// column-major copies; no per-row metric maps are rebuilt.
 func Concat(ts ...*Thicket) *Thicket {
-	out := &Thicket{}
-	for _, t := range ts {
-		base := ProfileID(len(out.metadata))
-		out.metadata = append(out.metadata, t.metadata...)
-		for _, r := range t.rows {
-			r2 := r
-			r2.Profile += base
-			out.rows = append(out.rows, r2)
-		}
+	parts := make([]frame.Part, len(ts))
+	for i, t := range ts {
+		parts[i] = frame.Part{F: t.f, Sel: t.sel}
 	}
-	return out
+	return fromFrame(frame.Merge(parts...))
 }
 
-// Filter returns a Thicket containing only rows whose profile metadata
+// Filter returns a view containing only rows whose profile metadata
 // satisfies pred. Metadata of all profiles is retained (IDs are stable).
+// pred is evaluated once per profile that has selected rows.
 func (t *Thicket) Filter(pred func(md map[string]any) bool) *Thicket {
-	out := &Thicket{metadata: t.metadata}
-	for _, r := range t.rows {
-		if pred(t.metadata[r.Profile]) {
-			out.rows = append(out.rows, r)
+	decided := make([]int8, t.f.NumProfiles()) // 0 unknown, 1 keep, 2 drop
+	profIDs := t.f.ProfIDs()
+	var sel []int32
+	t.eachRow(func(r int32) {
+		p := profIDs[r]
+		if decided[p] == 0 {
+			if pred(t.f.Meta(p)) {
+				decided[p] = 1
+			} else {
+				decided[p] = 2
+			}
 		}
-	}
-	return out
+		if decided[p] == 1 {
+			sel = append(sel, r)
+		}
+	})
+	return &Thicket{f: t.f, sel: sel}
 }
 
-// FilterNodes returns a Thicket with only rows whose node satisfies pred.
+// FilterNodes returns a view with only rows whose node satisfies pred.
+// pred is evaluated once per distinct node name.
 func (t *Thicket) FilterNodes(pred func(node string) bool) *Thicket {
-	out := &Thicket{metadata: t.metadata}
-	for _, r := range t.rows {
-		if pred(r.Node) {
-			out.rows = append(out.rows, r)
+	dict := t.f.NodeDict()
+	decided := make([]int8, dict.Len())
+	nodeIDs := t.f.NodeIDs()
+	var sel []int32
+	t.eachRow(func(r int32) {
+		id := nodeIDs[r]
+		if id < 0 {
+			return
 		}
-	}
-	return out
+		if decided[id] == 0 {
+			if pred(dict.Name(id)) {
+				decided[id] = 1
+			} else {
+				decided[id] = 2
+			}
+		}
+		if decided[id] == 1 {
+			sel = append(sel, r)
+		}
+	})
+	return &Thicket{f: t.f, sel: sel}
 }
 
-// GroupBy partitions the Thicket by the string value of a metadata key,
-// returning sub-Thickets keyed by that value.
+// GroupBy partitions the view by the string value of a metadata key,
+// returning sub-views keyed by that value. Profiles lacking the key are
+// grouped under MissingKey. A profile's rows are contiguous in any view,
+// so the group key resolves once per profile run — the per-row work is
+// one slice append.
 func (t *Thicket) GroupBy(key string) map[string]*Thicket {
-	out := map[string]*Thicket{}
-	for _, r := range t.rows {
-		k := fmt.Sprint(t.metadata[r.Profile][key])
-		sub, ok := out[k]
+	sels := map[string]*[]int32{}
+	group := func(p int32) *[]int32 {
+		k := t.f.MetaString(p, key)
+		s, ok := sels[k]
 		if !ok {
-			sub = &Thicket{metadata: t.metadata}
-			out[k] = sub
+			s = new([]int32)
+			sels[k] = s
 		}
-		sub.rows = append(sub.rows, r)
+		return s
+	}
+	if t.sel == nil {
+		for p := int32(0); p < int32(t.f.NumProfiles()); p++ {
+			lo, hi := t.f.ProfileRange(p)
+			if lo == hi {
+				continue
+			}
+			s := group(p)
+			for r := lo; r < hi; r++ {
+				*s = append(*s, r)
+			}
+		}
+	} else {
+		profIDs := t.f.ProfIDs()
+		cur, curProf := (*[]int32)(nil), int32(-1)
+		for _, r := range t.sel {
+			if p := profIDs[r]; p != curProf {
+				curProf, cur = p, group(p)
+			}
+			*cur = append(*cur, r)
+		}
+	}
+	out := make(map[string]*Thicket, len(sels))
+	for k, sel := range sels {
+		out[k] = &Thicket{f: t.f, sel: *sel}
 	}
 	return out
 }
 
 // Metric returns the metric value at (node, profile), with ok reporting
-// presence.
+// presence — a dictionary lookup plus a (node, profile) index hit.
 func (t *Thicket) Metric(node string, id ProfileID, metric string) (float64, bool) {
-	for _, r := range t.rows {
-		if r.Node == node && r.Profile == id {
-			v, ok := r.Metrics[metric]
-			return v, ok
+	nid, ok := t.f.NodeDict().Lookup(node)
+	if !ok {
+		return 0, false
+	}
+	col := t.f.Column(metric)
+	if col == nil {
+		return 0, false
+	}
+	r, ok := t.f.Row(nid, int32(id))
+	if !ok {
+		return 0, false
+	}
+	if !t.selected(r) {
+		// The view excludes the frame-level first (node, profile) row;
+		// fall back to the node's postings for the first selected one.
+		r, ok = -1, false
+		for _, rr := range t.f.NodeRows(nid) {
+			if t.f.ProfIDs()[rr] == int32(id) && t.selected(rr) {
+				r, ok = rr, true
+				break
+			}
+		}
+		if !ok {
+			return 0, false
 		}
 	}
-	return 0, false
+	return col.Value(r)
+}
+
+// selected reports whether frame row r is part of this view.
+func (t *Thicket) selected(r int32) bool {
+	if t.sel == nil {
+		return true
+	}
+	i := sort.Search(len(t.sel), func(i int) bool { return t.sel[i] >= r })
+	return i < len(t.sel) && t.sel[i] == r
 }
 
 // NodeVector collects one metric across a list of metric names for a node
-// from the first profile that has the node — the per-kernel feature tuple
-// used for clustering.
+// from the first row that carries the node with every metric present —
+// the per-kernel feature tuple used for clustering. It walks the node's
+// row postings, not the full DataFrame.
 func (t *Thicket) NodeVector(node string, metrics []string) ([]float64, bool) {
-	for _, r := range t.rows {
-		if r.Node != node {
-			continue
+	nid, ok := t.f.NodeDict().Lookup(node)
+	if !ok {
+		return nil, false
+	}
+	cols := make([]*frame.Column, len(metrics))
+	for i, m := range metrics {
+		if cols[i] = t.f.Column(m); cols[i] == nil {
+			return nil, false
 		}
+	}
+	try := func(r int32) ([]float64, bool) {
 		out := make([]float64, len(metrics))
-		all := true
-		for i, m := range metrics {
-			v, ok := r.Metrics[m]
+		for i, c := range cols {
+			v, ok := c.Value(r)
 			if !ok {
-				all = false
-				break
+				return nil, false
 			}
 			out[i] = v
 		}
-		if all {
+		return out, true
+	}
+	if t.sel == nil {
+		for _, r := range t.f.NodeRows(nid) {
+			if out, ok := try(r); ok {
+				return out, true
+			}
+		}
+		return nil, false
+	}
+	nodeIDs := t.f.NodeIDs()
+	for _, r := range t.sel {
+		if nodeIDs[r] != nid {
+			continue
+		}
+		if out, ok := try(r); ok {
 			return out, true
 		}
 	}

@@ -8,7 +8,8 @@ import (
 
 // Tree renders one profile's call tree with a metric annotated per node —
 // the Hatchet/Thicket tree view. Nodes are indented by call depth and
-// siblings sort by descending metric value so hot paths lead.
+// siblings sort by descending metric value so hot paths lead. Only the
+// profile's contiguous row range is walked, not the full DataFrame.
 func (t *Thicket) Tree(id ProfileID, metric string) string {
 	type node struct {
 		name     string
@@ -17,21 +18,27 @@ func (t *Thicket) Tree(id ProfileID, metric string) string {
 		children map[string]*node
 	}
 	root := &node{children: map[string]*node{}}
-	for _, r := range t.rows {
-		if r.Profile != id {
-			continue
-		}
-		cur := root
-		for _, seg := range r.Path {
-			child, ok := cur.children[seg]
-			if !ok {
-				child = &node{name: seg, children: map[string]*node{}}
-				cur.children[seg] = child
+	col := t.f.Column(metric)
+	if int(id) >= 0 && int(id) < t.f.NumProfiles() {
+		lo, hi := t.f.ProfileRange(int32(id))
+		for r := lo; r < hi; r++ {
+			if !t.selected(r) {
+				continue
 			}
-			cur = child
-		}
-		if v, ok := r.Metrics[metric]; ok {
-			cur.value, cur.has = v, true
+			cur := root
+			for _, seg := range t.f.PathSegsAt(r) {
+				child, ok := cur.children[seg]
+				if !ok {
+					child = &node{name: seg, children: map[string]*node{}}
+					cur.children[seg] = child
+				}
+				cur = child
+			}
+			if col != nil {
+				if v, ok := col.Value(r); ok {
+					cur.value, cur.has = v, true
+				}
+			}
 		}
 	}
 
