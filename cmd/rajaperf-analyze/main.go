@@ -40,9 +40,15 @@ func main() {
 }
 
 func run(dir, metric string, top int, groupby, speedupBase string, tree int, export, exportDir string) error {
-	tk, err := thicket.FromDir(dir)
+	// Lenient ingestion: a torn or quarantine-worthy profile is reported
+	// and skipped, so one bad file never blocks analysis of an otherwise
+	// healthy campaign directory.
+	tk, ferrs, err := thicket.FromDirLenient(dir)
 	if err != nil {
 		return err
+	}
+	for _, fe := range ferrs {
+		fmt.Fprintf(os.Stderr, "rajaperf-analyze: skipping unreadable profile: %v\n", fe)
 	}
 	if export != "" {
 		return exportTables(tk, export, exportDir)

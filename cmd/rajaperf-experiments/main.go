@@ -29,6 +29,7 @@ func main() {
 		thresh  = flag.Float64("threshold", 0, "Ward dendrogram cut distance (0 = 1.4)")
 		svgdir  = flag.String("svgdir", "", "also write figure SVGs into this directory")
 		jobs    = flag.Int("jobs", 1, "concurrent per-machine suite collections")
+		dir     = flag.String("dir", "", "seed the profile cache from this campaign directory instead of re-running cached machines")
 		export  = flag.String("export", "", "also dump the composed cross-machine thicket: csv or json")
 		exdir   = flag.String("export-dir", ".", "directory the -export files are written to")
 	)
@@ -36,6 +37,17 @@ func main() {
 
 	s := analysis.NewSession(*size, *execute)
 	s.Jobs = *jobs
+	if *dir != "" {
+		loaded, ferrs, err := s.LoadDir(*dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rajaperf-experiments:", err)
+			os.Exit(1)
+		}
+		for _, fe := range ferrs {
+			fmt.Fprintf(os.Stderr, "rajaperf-experiments: skipping unreadable profile: %v\n", fe)
+		}
+		fmt.Printf("loaded %d cached profiles from %s\n", loaded, *dir)
+	}
 	if err := run(s, strings.ToLower(*exp), *thresh, *size); err != nil {
 		fmt.Fprintln(os.Stderr, "rajaperf-experiments:", err)
 		os.Exit(1)

@@ -30,6 +30,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"rajaperf/internal/caliper"
 	"rajaperf/internal/campaign"
@@ -37,6 +38,7 @@ import (
 	"rajaperf/internal/machine"
 	"rajaperf/internal/raja"
 	"rajaperf/internal/report"
+	"rajaperf/internal/resilience"
 	"rajaperf/internal/suite"
 )
 
@@ -76,10 +78,19 @@ func realMain() int {
 		include   = flag.String("include", "", "comma-separated spec-ID patterns a campaign spec must match")
 		exclude   = flag.String("exclude", "", "comma-separated spec-ID patterns that drop campaign specs")
 		jobs      = flag.Int("jobs", 1, "concurrent runs in a campaign (each on its own executor pool)")
-		resume    = flag.Bool("resume", false, "skip campaign specs whose recorded profile exists and validates")
-		traceOut  = flag.String("trace", "", "write a Chrome-trace JSON event trace to this path (enables the trace service)")
-		cpuprof   = flag.String("pprof", "", "write a CPU profile of the run to this path")
-		pprofSrv  = flag.String("pprof-http", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's duration")
+		resume    = flag.Bool("resume", false, "skip campaign specs whose recorded profile exists and validates (runs crash recovery first)")
+
+		// Resilience: deterministic fault injection and the machinery that
+		// absorbs faults — retry with backoff, run watchdogs, a circuit
+		// breaker over repeat offenders.
+		faults      = flag.String("faults", "", "deterministic fault injection spec, e.g. 'kernel.panic:2,run.transient:0.1,seed=7' (points: "+strings.Join(resilience.Points(), ", ")+")")
+		maxAttempts = flag.Int("max-attempts", 1, "run attempts per campaign spec; transient failures and timeouts retry with exponential backoff")
+		runTimeout  = flag.Duration("run-timeout", 0, "hard wall-clock deadline per campaign run attempt (0 = none)")
+		stallT      = flag.Duration("stall-timeout", 0, "cancel a campaign run whose executor heartbeat stalls this long (0 = off)")
+		breaker     = flag.Int("breaker", 0, "open a (kernel set, variant) circuit after this many consecutive non-transient failures, skipping its remaining specs (0 = off)")
+		traceOut    = flag.String("trace", "", "write a Chrome-trace JSON event trace to this path (enables the trace service)")
+		cpuprof     = flag.String("pprof", "", "write a CPU profile of the run to this path")
+		pprofSrv    = flag.String("pprof-http", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's duration")
 	)
 	flag.Parse()
 
@@ -95,6 +106,11 @@ func realMain() int {
 	}
 
 	svc, err := caliper.ParseServices(*services)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rajaperf:", err)
+		return 2
+	}
+	inj, err := resilience.ParseFaults(*faults)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rajaperf:", err)
 		return 2
@@ -141,6 +157,8 @@ func realMain() int {
 			include:   *include, exclude: *exclude,
 			kernels: *kerns, reps: *reps, workers: *workers,
 			execute: *execute, outdir: *outdir, jobs: *jobs, resume: *resume,
+			maxAttempts: *maxAttempts, runTimeout: *runTimeout,
+			stallTimeout: *stallT, breaker: *breaker, faults: inj,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rajaperf:", err)
@@ -174,7 +192,7 @@ func realMain() int {
 	}
 
 	if err := run(*machName, *variant, *block, *size, *reps, *workers,
-		sched, svc, *traceOut, *kerns, *group, *feature, *execute, *outdir); err != nil {
+		sched, svc, *traceOut, *kerns, *group, *feature, *execute, *outdir, inj); err != nil {
 		fmt.Fprintln(os.Stderr, "rajaperf:", err)
 		return 1
 	}
@@ -188,6 +206,11 @@ type campaignArgs struct {
 	reps, workers, jobs                          int
 	execute, resume                              bool
 	outdir                                       string
+
+	maxAttempts              int
+	runTimeout, stallTimeout time.Duration
+	breaker                  int
+	faults                   *resilience.Injector
 }
 
 // runCampaign plans and executes a campaign, streaming progress lines as
@@ -230,18 +253,33 @@ func runCampaign(a campaignArgs) (int, error) {
 	defer stop()
 
 	res, err := campaign.Run(ctx, plan, campaign.Options{
-		OutDir:  a.outdir,
-		Workers: a.jobs,
-		Resume:  a.resume,
+		OutDir:       a.outdir,
+		Workers:      a.jobs,
+		Resume:       a.resume,
+		Retry:        resilience.Policy{MaxAttempts: a.maxAttempts},
+		RunTimeout:   a.runTimeout,
+		StallTimeout: a.stallTimeout,
+		Breaker:      a.breaker,
+		Faults:       a.faults,
 		Progress: func(ev campaign.Event) {
 			switch ev.Status {
 			case campaign.StatusDone:
-				fmt.Printf("[%d/%d] done    %s (%.2fs)\n",
-					ev.Finished, ev.Total, ev.Spec.ID(), ev.Elapsed.Seconds())
+				attempts := ""
+				if ev.Attempts > 1 {
+					attempts = fmt.Sprintf(" [attempt %d]", ev.Attempts)
+				}
+				fmt.Printf("[%d/%d] done    %s (%.2fs)%s\n",
+					ev.Finished, ev.Total, ev.Spec.ID(), ev.Elapsed.Seconds(), attempts)
 			case campaign.StatusResumed:
 				fmt.Printf("[%d/%d] resumed %s\n", ev.Finished, ev.Total, ev.Spec.ID())
 			case campaign.StatusFailed:
 				fmt.Printf("[%d/%d] FAILED  %s: %v\n",
+					ev.Finished, ev.Total, ev.Spec.ID(), ev.Err)
+			case campaign.StatusTimedOut:
+				fmt.Printf("[%d/%d] TIMEOUT %s: %v\n",
+					ev.Finished, ev.Total, ev.Spec.ID(), ev.Err)
+			case campaign.StatusSkipped:
+				fmt.Printf("[%d/%d] skipped %s: %v\n",
 					ev.Finished, ev.Total, ev.Spec.ID(), ev.Err)
 			case campaign.StatusCanceled:
 				fmt.Printf("[%d/%d] canceled %s\n", ev.Finished, ev.Total, ev.Spec.ID())
@@ -249,8 +287,15 @@ func runCampaign(a campaignArgs) (int, error) {
 		},
 	})
 	if res != nil {
+		if rep := res.Recovered; rep != nil && !rep.Empty() {
+			fmt.Printf("recovery: %s\n", rep)
+		}
 		fmt.Printf("campaign: %d specs, %d executed, %d resumed, %d failed in %.2fs\n",
 			len(res.Specs), res.Done, res.Resumed, res.Failed, res.Elapsed.Seconds())
+		if res.TimedOut > 0 || res.Skipped > 0 {
+			fmt.Printf("campaign: %d timed out, %d skipped by circuit breaker\n",
+				res.TimedOut, res.Skipped)
+		}
 		fmt.Printf("manifest: %s\n", campaign.ManifestPath(a.outdir))
 	}
 	if err != nil {
@@ -319,7 +364,8 @@ func runReport(kerns string, size, reps, workers int, sched raja.Schedule) error
 
 func run(machName, variant string, block, size, reps, workers int,
 	sched raja.Schedule, svc caliper.Services, traceOut string,
-	kerns, group, feature string, execute bool, outdir string) error {
+	kerns, group, feature string, execute bool, outdir string,
+	inj *resilience.Injector) error {
 
 	m, err := machine.ByName(machName)
 	if err != nil {
@@ -387,6 +433,7 @@ func run(machName, variant string, block, size, reps, workers int,
 		Schedule:    sched,
 		Services:    svc,
 		Tracer:      tracer,
+		Faults:      inj,
 	})
 	if err != nil {
 		return err

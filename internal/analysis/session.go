@@ -107,6 +107,37 @@ func (s *Session) Prefetch(ms ...*machine.Machine) error {
 	return nil
 }
 
+// LoadDir seeds the session's profile cache from a campaign output
+// directory instead of running the suite, reading leniently: profiles
+// that fail to decode are skipped and returned as FileErrors for the
+// caller to report, so one torn file never blocks an analysis over an
+// otherwise healthy campaign. Profiles are keyed by their "machine"
+// metadata; the first profile per machine wins and already-cached
+// machines are not overwritten. It returns how many profiles were
+// loaded into the cache.
+func (s *Session) LoadDir(dir string) (int, []caliper.FileError, error) {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+	loaded := 0
+	ferrs, err := caliper.WalkDirLenient(dir, func(path string, p *caliper.Profile) error {
+		m, _ := p.Metadata["machine"].(string)
+		if m == "" {
+			return nil
+		}
+		s.mu.Lock()
+		if _, ok := s.profiles[m]; !ok {
+			s.profiles[m] = p
+			loaded++
+		}
+		s.mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return 0, nil, fmt.Errorf("analysis: %w", err)
+	}
+	return loaded, ferrs, nil
+}
+
 // Profile returns the cached suite profile for machine m, running the
 // suite on first use with the Table III variant for that machine.
 func (s *Session) Profile(m *machine.Machine) (*caliper.Profile, error) {

@@ -14,6 +14,9 @@ import (
 const FileExt = ".cali.json"
 
 // WriteFile serializes the profile to path, creating parent directories.
+// The write is atomic (temp file + fsync + rename): a crash mid-write
+// leaves either the previous contents or a stray *.tmp* file that
+// campaign recovery sweeps, never a torn profile under the final name.
 func (p *Profile) WriteFile(path string) error {
 	if err := p.Validate(); err != nil {
 		return fmt.Errorf("caliper: refusing to write invalid profile: %w", err)
@@ -27,8 +30,38 @@ func (p *Profile) WriteFile(path string) error {
 	if err != nil {
 		return fmt.Errorf("caliper: %w", err)
 	}
-	return os.WriteFile(path, data, 0o644)
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("caliper: %w", err)
+	}
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Chmod(tmp.Name(), 0o644)
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), path)
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("caliper: %w", err)
+	}
+	return nil
 }
+
+// FileError records one file a lenient walk skipped and why.
+type FileError struct {
+	Path string
+	Err  error
+}
+
+func (e FileError) Error() string { return fmt.Sprintf("%s: %v", e.Path, e.Err) }
+
+func (e FileError) Unwrap() error { return e.Err }
 
 // ReadFile deserializes and validates a profile from path.
 func ReadFile(path string) (*Profile, error) {
@@ -72,9 +105,25 @@ func decodeWorkers(files int) int {
 // first broken file by that order, independent of worker timing. A
 // non-nil error from fn stops the walk.
 func WalkDir(dir string, fn func(path string, p *Profile) error) error {
+	_, err := walkDir(dir, fn, false)
+	return err
+}
+
+// WalkDirLenient walks like WalkDir but treats undecodable profiles as
+// data to report rather than a reason to stop: fn still sees every good
+// profile in sorted order, and the skipped files come back as FileErrors
+// in that same order. A non-nil error from fn (or a directory-level
+// failure) still aborts the walk. This is the ingestion mode for
+// directories a crashed or fault-injected campaign may have littered
+// with partial files.
+func WalkDirLenient(dir string, fn func(path string, p *Profile) error) ([]FileError, error) {
+	return walkDir(dir, fn, true)
+}
+
+func walkDir(dir string, fn func(path string, p *Profile) error, lenient bool) ([]FileError, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return fmt.Errorf("caliper: %w", err)
+		return nil, fmt.Errorf("caliper: %w", err)
 	}
 	var names []string
 	for _, e := range entries {
@@ -83,19 +132,30 @@ func WalkDir(dir string, fn func(path string, p *Profile) error) error {
 		}
 	}
 	sort.Strings(names)
+	var ferrs []FileError
+	skip := func(path string, err error) error {
+		if !lenient {
+			return err
+		}
+		ferrs = append(ferrs, FileError{Path: path, Err: err})
+		return nil
+	}
 	workers := decodeWorkers(len(names))
 	if workers <= 1 {
 		for _, n := range names {
 			path := filepath.Join(dir, n)
 			p, err := ReadFile(path)
 			if err != nil {
-				return err
+				if err := skip(path, err); err != nil {
+					return nil, err
+				}
+				continue
 			}
 			if err := fn(path, p); err != nil {
-				return err
+				return nil, err
 			}
 		}
-		return nil
+		return ferrs, nil
 	}
 
 	type result struct {
@@ -134,15 +194,20 @@ func WalkDir(dir string, fn func(path string, p *Profile) error) error {
 			continue
 		}
 		delete(pending, next)
+		path := filepath.Join(dir, names[next])
 		if r.err != nil {
-			return r.err
+			if err := skip(path, r.err); err != nil {
+				return nil, err
+			}
+			next++
+			continue
 		}
-		if err := fn(filepath.Join(dir, names[next]), r.p); err != nil {
-			return err
+		if err := fn(path, r.p); err != nil {
+			return nil, err
 		}
 		next++
 	}
-	return nil
+	return ferrs, nil
 }
 
 // ReadDir reads every profile file under dir (by FileExt), sorted by file
@@ -159,4 +224,19 @@ func ReadDir(dir string) ([]*Profile, error) {
 		return nil, err
 	}
 	return ps, nil
+}
+
+// ReadDirLenient reads like ReadDir but returns the good profiles plus
+// the per-file errors for profiles that failed to decode, instead of
+// failing the whole directory on the first broken file.
+func ReadDirLenient(dir string) ([]*Profile, []FileError, error) {
+	var ps []*Profile
+	ferrs, err := WalkDirLenient(dir, func(_ string, p *Profile) error {
+		ps = append(ps, p)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return ps, ferrs, nil
 }

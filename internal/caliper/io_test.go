@@ -158,3 +158,114 @@ func TestWalkDirStopsOnCallbackError(t *testing.T) {
 		t.Fatalf("callback ran %d times after erroring on the 3rd", calls)
 	}
 }
+
+func TestWalkDirLenientSkipsBrokenFiles(t *testing.T) {
+	dir := t.TempDir()
+	var want []string
+	for i := 0; i < 14; i++ {
+		name := fmt.Sprintf("run%02d%s", i, FileExt)
+		writeValidProfile(t, filepath.Join(dir, name))
+		want = append(want, name)
+	}
+	// Tear two files at different sorted positions: one torn JSON, one
+	// valid JSON failing structural validation.
+	if err := os.WriteFile(filepath.Join(dir, "run03"+FileExt), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	invalid := `{"metadata":{},"records":[{"path":["k"],"metrics":{}},{"path":["k"],"metrics":{}}]}`
+	if err := os.WriteFile(filepath.Join(dir, "run09"+FileExt), []byte(invalid), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []string
+	ferrs, err := WalkDirLenient(dir, func(path string, p *Profile) error {
+		got = append(got, filepath.Base(path))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ferrs) != 2 {
+		t.Fatalf("FileErrors = %v, want exactly 2", ferrs)
+	}
+	// File errors come back in sorted order and name the broken files.
+	if !strings.Contains(ferrs[0].Path, "run03") || !strings.Contains(ferrs[1].Path, "run09") {
+		t.Errorf("FileErrors out of order or misnamed: %v", ferrs)
+	}
+	wantGood := slices.DeleteFunc(slices.Clone(want), func(n string) bool {
+		return strings.Contains(n, "run03") || strings.Contains(n, "run09")
+	})
+	if !slices.Equal(got, wantGood) {
+		t.Fatalf("lenient walk delivered %v, want %v", got, wantGood)
+	}
+
+	// Strict walk over the same directory still fails on the first broken
+	// file by sorted order.
+	if err := WalkDir(dir, func(string, *Profile) error { return nil }); err == nil ||
+		!strings.Contains(err.Error(), "run03"+FileExt) {
+		t.Errorf("strict WalkDir = %v, want error naming run03", err)
+	}
+
+	// ReadDirLenient mirrors the walk.
+	ps, ferrs2, err := ReadDirLenient(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != len(wantGood) || len(ferrs2) != 2 {
+		t.Errorf("ReadDirLenient = %d profiles, %d errors; want %d, 2", len(ps), len(ferrs2), len(wantGood))
+	}
+}
+
+func TestWalkDirLenientCallbackErrorStillAborts(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 6; i++ {
+		writeValidProfile(t, filepath.Join(dir, fmt.Sprintf("p%d%s", i, FileExt)))
+	}
+	sentinel := errors.New("stop here")
+	calls := 0
+	_, err := WalkDirLenient(dir, func(string, *Profile) error {
+		calls++
+		if calls == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("lenient walk = %v, want the callback error", err)
+	}
+	if calls != 2 {
+		t.Fatalf("callback ran %d times after erroring on the 2nd", calls)
+	}
+}
+
+func TestWriteFileAtomicLeavesNoTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run"+FileExt)
+	writeValidProfile(t, path)
+	// Overwrite in place: the rename must replace the old contents whole.
+	c := NewRecorder()
+	c.AddMetadata("machine", "SPR-HBM")
+	c.Region("Stream_DOT", func() {})
+	if err := c.Profile().WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	p, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Metadata["machine"] != "SPR-HBM" {
+		t.Errorf("machine = %v after overwrite, want SPR-HBM", p.Metadata["machine"])
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("stray temp file %s left behind", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory holds %d entries, want only the profile", len(entries))
+	}
+}

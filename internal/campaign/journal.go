@@ -1,0 +1,275 @@
+package campaign
+
+// Crash-consistent campaign state. The manifest proper is a whole-file
+// checkpoint (manifest.go); rewriting and fsyncing it after every spec of
+// a large campaign is wasteful and, worse, a crash between a profile
+// write and the next full rewrite silently forgets finished work. This
+// file adds a write-ahead journal between checkpoints:
+//
+//   - every terminal spec outcome is appended to campaign_manifest.wal as
+//     one '\n'-PREFIXED JSON record and fsynced before the orchestrator
+//     moves on — the durability point for that spec;
+//   - readers (LoadManifest) replay the journal over the base manifest,
+//     so a campaign killed at any instant loses at most the record being
+//     appended, never a finished one;
+//   - the journal is compacted — base manifest rewritten atomically, then
+//     the journal truncated — every walCompactEvery appends and at clean
+//     campaign end.
+//
+// The leading '\n' on every record is the torn-write defense: if a crash
+// (or the manifest.torn fault) leaves a partial record at the tail, the
+// next append's newline terminates the damage into a single garbage line
+// that replay skips, instead of the partial record fusing with the next
+// one and corrupting both.
+//
+// Recover performs the full crash-recovery procedure for a campaign
+// directory: sweep stale temp files, replay the journal, quarantine
+// profiles that no longer decode, and compact.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"rajaperf/internal/caliper"
+	"rajaperf/internal/resilience"
+)
+
+// JournalName is the write-ahead journal's file name inside a campaign
+// output directory.
+const JournalName = "campaign_manifest.wal"
+
+// QuarantineDir is the subdirectory Recover moves undecodable profile
+// files into, preserving the evidence without letting it poison
+// directory-level readers.
+const QuarantineDir = "quarantine"
+
+// walCompactEvery bounds journal growth: after this many appends the
+// orchestrator folds the journal into the base manifest.
+const walCompactEvery = 64
+
+// JournalPath returns the journal location for a campaign directory.
+func JournalPath(dir string) string { return filepath.Join(dir, JournalName) }
+
+// walRecord is one journaled manifest update.
+type walRecord struct {
+	ID    string        `json:"id"`
+	Entry ManifestEntry `json:"entry"`
+}
+
+// journal is the orchestrator's open write-ahead log. A nil *journal is
+// valid and inert (campaigns with no output directory).
+type journal struct {
+	f       *os.File
+	appends int
+}
+
+// openJournal opens (creating if needed) the campaign directory's journal
+// for appending.
+func openJournal(dir string) (*journal, error) {
+	f, err := os.OpenFile(JournalPath(dir), os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	return &journal{f: f}, nil
+}
+
+// Append journals one manifest update and fsyncs it — the durability
+// point for the spec's outcome. When the manifest.torn fault fires, only
+// a prefix of the record reaches the file and no error is reported,
+// simulating a crash mid-append: the entry is lost from the journal
+// (recovery re-runs the spec) but the file stays replayable.
+func (j *journal) Append(id string, e ManifestEntry, inj *resilience.Injector) error {
+	if j == nil {
+		return nil
+	}
+	rec, err := json.Marshal(walRecord{ID: id, Entry: e})
+	if err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
+	buf := append([]byte{'\n'}, rec...)
+	if inj.Fire(resilience.FaultTornManifest) {
+		buf = buf[:1+len(rec)/2]
+	}
+	if _, err := j.f.Write(buf); err != nil {
+		return fmt.Errorf("campaign: journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("campaign: journal sync: %w", err)
+	}
+	j.appends++
+	return nil
+}
+
+// Reset truncates the journal after a successful compaction.
+func (j *journal) Reset() error {
+	if j == nil {
+		return nil
+	}
+	if err := j.f.Truncate(0); err != nil {
+		return fmt.Errorf("campaign: journal truncate: %w", err)
+	}
+	if _, err := j.f.Seek(0, 0); err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
+	j.appends = 0
+	return nil
+}
+
+// Close closes the journal file. The journal is not removed: a non-empty
+// journal after an unclean exit is exactly what recovery replays.
+func (j *journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	return j.f.Close()
+}
+
+// replayJournal merges the directory's journal (if any) into m. It
+// returns how many records applied and how many lines were torn or
+// unparsable (skipped). Only I/O errors are fatal; a damaged tail is the
+// expected crash artifact, not corruption.
+func replayJournal(dir string, m *Manifest) (applied, torn int, err error) {
+	f, err := os.Open(JournalPath(dir))
+	if os.IsNotExist(err) {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("campaign: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec walRecord
+		if json.Unmarshal(line, &rec) != nil || rec.ID == "" {
+			torn++
+			continue
+		}
+		m.Entries[rec.ID] = rec.Entry
+		applied++
+	}
+	if err := sc.Err(); err != nil {
+		return applied, torn, fmt.Errorf("campaign: journal read: %w", err)
+	}
+	return applied, torn, nil
+}
+
+// RecoveryReport describes what Recover found and repaired in a campaign
+// directory.
+type RecoveryReport struct {
+	// JournalApplied counts journaled manifest updates newer than the
+	// base manifest checkpoint.
+	JournalApplied int
+	// JournalTorn counts torn or unparsable journal lines skipped (at
+	// most the tail record of each crash).
+	JournalTorn int
+	// TempRemoved lists stale temp files (interrupted atomic writes)
+	// swept, relative to the directory.
+	TempRemoved []string
+	// Quarantined lists profile files that no longer decode, moved into
+	// QuarantineDir, relative to the directory.
+	Quarantined []string
+}
+
+// Empty reports whether recovery found nothing to repair.
+func (r *RecoveryReport) Empty() bool {
+	return r == nil || (r.JournalApplied == 0 && r.JournalTorn == 0 &&
+		len(r.TempRemoved) == 0 && len(r.Quarantined) == 0)
+}
+
+// String summarizes the report for operators ("" when empty).
+func (r *RecoveryReport) String() string {
+	if r.Empty() {
+		return ""
+	}
+	return fmt.Sprintf("replayed %d journaled updates (%d torn), removed %d temp files, quarantined %d profiles",
+		r.JournalApplied, r.JournalTorn, len(r.TempRemoved), len(r.Quarantined))
+}
+
+// Recover brings a campaign directory back to a consistent state after a
+// crash or kill and returns the recovered manifest:
+//
+//  1. sweep temp files left by interrupted atomic writes (*.tmp*);
+//  2. load the base manifest and replay the journal over it;
+//  3. quarantine profile files that no longer decode or validate, so
+//     strict directory readers work and the broken bytes stay available
+//     for inspection under QuarantineDir;
+//  4. compact: rewrite the base manifest and truncate the journal.
+//
+// Recover is idempotent — running it on a clean directory (or twice) is
+// a no-op — and safe on a directory that does not exist yet.
+func Recover(dir string) (*Manifest, *RecoveryReport, error) {
+	rep := &RecoveryReport{}
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return NewManifest(), rep, nil
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("campaign: %w", err)
+	}
+
+	// 1. Stale temp files: both the manifest's and caliper.WriteFile's
+	// atomic-write temps carry ".tmp" in their names; none are ever valid
+	// campaign state.
+	for _, e := range entries {
+		if !e.IsDir() && strings.Contains(e.Name(), ".tmp") {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err == nil {
+				rep.TempRemoved = append(rep.TempRemoved, e.Name())
+			}
+		}
+	}
+	sort.Strings(rep.TempRemoved)
+
+	// 2. Base manifest + journal. loadBaseManifest reads only the
+	// checkpoint; the replay is accounted in the report.
+	man, err := loadBaseManifest(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.JournalApplied, rep.JournalTorn, err = replayJournal(dir, man)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// 3. Quarantine undecodable profiles (a torn write that beat the
+	// rename, or the profile.corrupt fault). Resume re-runs their specs:
+	// Manifest.Completed fails once the file is gone from the directory.
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), caliper.FileExt) {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		if _, err := caliper.ReadFile(path); err == nil {
+			continue
+		}
+		if err := os.MkdirAll(filepath.Join(dir, QuarantineDir), 0o755); err != nil {
+			return nil, nil, fmt.Errorf("campaign: %w", err)
+		}
+		if err := os.Rename(path, filepath.Join(dir, QuarantineDir, e.Name())); err != nil {
+			return nil, nil, fmt.Errorf("campaign: quarantine: %w", err)
+		}
+		rep.Quarantined = append(rep.Quarantined, e.Name())
+	}
+	sort.Strings(rep.Quarantined)
+
+	// 4. Compact, so the next crash replays only its own journal.
+	if rep.JournalApplied > 0 || rep.JournalTorn > 0 {
+		if err := man.Write(dir); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := os.Truncate(JournalPath(dir), 0); err != nil && !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("campaign: %w", err)
+	}
+	return man, rep, nil
+}

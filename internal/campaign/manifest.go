@@ -3,10 +3,11 @@ package campaign
 // The record layer: completed profiles stream to the output directory as
 // they finish (caliper.WriteFile in the orchestrator), and this manifest
 // persists per-spec status alongside them so an interrupted campaign
-// resumes exactly where it stopped. The manifest is rewritten atomically
-// (temp file + rename) after every spec completion, so a crash at any
-// point leaves either the previous or the next consistent state — never a
-// torn file.
+// resumes exactly where it stopped. The manifest checkpoint is rewritten
+// atomically (temp file + fsync + rename); between checkpoints, per-spec
+// outcomes are journaled to a fsynced write-ahead log (journal.go), so a
+// crash at any point loses at most the record being appended — never a
+// finished spec, never a torn file.
 
 import (
 	"encoding/json"
@@ -24,11 +25,12 @@ const ManifestName = "campaign_manifest.json"
 
 // ManifestEntry records the outcome of one spec.
 type ManifestEntry struct {
-	Spec    RunSpec `json:"spec"`
-	File    string  `json:"file,omitempty"` // profile file name, relative to the directory
-	Status  Status  `json:"status"`
-	Error   string  `json:"error,omitempty"`
-	WallSec float64 `json:"wall_sec,omitempty"`
+	Spec     RunSpec `json:"spec"`
+	File     string  `json:"file,omitempty"` // profile file name, relative to the directory
+	Status   Status  `json:"status"`
+	Error    string  `json:"error,omitempty"`
+	WallSec  float64 `json:"wall_sec,omitempty"`
+	Attempts int     `json:"attempts,omitempty"` // run attempts consumed (retry policy)
 }
 
 // Manifest is the campaign's on-disk checkpoint: one entry per finished
@@ -49,10 +51,26 @@ func NewManifest() *Manifest {
 // ManifestPath returns the manifest location for a campaign directory.
 func ManifestPath(dir string) string { return filepath.Join(dir, ManifestName) }
 
-// LoadManifest reads the manifest of a campaign directory. A missing file
-// is not an error: it returns an empty manifest, so fresh and resumed
-// campaigns share one code path.
+// LoadManifest reads the manifest of a campaign directory: the base
+// checkpoint plus any write-ahead journal records newer than it (see
+// journal.go), so readers observe every spec outcome that reached its
+// durability point even after a crash. A missing file is not an error:
+// it returns an empty manifest, so fresh and resumed campaigns share one
+// code path.
 func LoadManifest(dir string) (*Manifest, error) {
+	m, err := loadBaseManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := replayJournal(dir, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// loadBaseManifest reads only the manifest checkpoint, without journal
+// replay.
+func loadBaseManifest(dir string) (*Manifest, error) {
 	data, err := os.ReadFile(ManifestPath(dir))
 	if os.IsNotExist(err) {
 		return NewManifest(), nil
@@ -88,6 +106,11 @@ func (m *Manifest) Write(dir string) error {
 		return fmt.Errorf("campaign: %w", err)
 	}
 	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("campaign: %w", err)

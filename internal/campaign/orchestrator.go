@@ -7,18 +7,37 @@ package campaign
 // contend for executor lanes; fault isolation is two-level (a failing
 // kernel is recorded inside its profile by the suite layer, a failing run
 // is recorded in the manifest by this layer and the campaign continues).
+//
+// On top of that isolation sits the resilience layer:
+//
+//   - transiently-failed runs retry with exponential backoff + jitter
+//     (Options.Retry), attempts recorded in the manifest and profile;
+//   - every attempt runs under a watchdog (Options.RunTimeout /
+//     StallTimeout) that samples the run's executor heartbeat and cancels
+//     a hung run, marking it timed_out instead of wedging the worker;
+//   - a per-(kernel set, variant) circuit breaker (Options.Breaker) stops
+//     rescheduling work that keeps failing non-transiently, marking the
+//     remaining specs skipped with the open-circuit reason;
+//   - spec outcomes journal to a fsynced write-ahead log between manifest
+//     checkpoints (journal.go), and resume starts with full crash
+//     recovery (Recover).
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rajaperf/internal/caliper"
 	"rajaperf/internal/raja"
+	"rajaperf/internal/resilience"
 	"rajaperf/internal/suite"
 )
 
@@ -37,6 +56,13 @@ const (
 	// StatusCanceled: the campaign's context was canceled before or
 	// while this spec ran.
 	StatusCanceled Status = "canceled"
+	// StatusTimedOut: the run's watchdog canceled it — deadline exceeded
+	// or executor heartbeat stalled — after its last allowed attempt.
+	StatusTimedOut Status = "timed_out"
+	// StatusSkipped: the spec's circuit breaker was open (too many
+	// consecutive non-transient failures under the same kernel set and
+	// variant), so it was never scheduled.
+	StatusSkipped Status = "skipped"
 )
 
 // Options configures a campaign execution.
@@ -48,7 +74,9 @@ type Options struct {
 	// Workers bounds how many specs run concurrently (<=1 = serial).
 	Workers int
 	// Resume skips specs whose manifest entry is done and whose recorded
-	// profile still validates (see Manifest.Completed).
+	// profile still validates (see Manifest.Completed). It begins with
+	// crash recovery over OutDir: journal replay, stale temp-file sweep,
+	// and quarantine of undecodable profiles (Recover).
 	Resume bool
 	// Retain keeps each completed profile in its SpecResult, for callers
 	// composing in memory (analysis.Session). Off by default so large
@@ -57,10 +85,34 @@ type Options struct {
 	// PoolLanes sets each in-flight run's private executor pool size.
 	// Zero divides the machine evenly: max(1, NumCPU/Workers).
 	PoolLanes int
-	// Progress, when non-nil, receives one event per finished spec
-	// (done, failed, resumed, or canceled), serialized by the
-	// orchestrator's bookkeeping lock.
+	// Progress, when non-nil, receives one event per finished spec,
+	// serialized by the orchestrator's bookkeeping lock.
 	Progress func(Event)
+
+	// Retry governs re-running transiently-failed specs: injected or
+	// organic transient run errors, watchdog cancellations, and completed
+	// runs whose profile records failed kernels. The zero value means one
+	// attempt, no retry.
+	Retry resilience.Policy
+	// RunTimeout is each attempt's hard wall-clock deadline (0 = none).
+	RunTimeout time.Duration
+	// StallTimeout cancels an attempt whose executor heartbeat (pool
+	// granules + kernel boundaries) stops advancing for this long
+	// (0 = stall detection off).
+	StallTimeout time.Duration
+	// Grace bounds how long a canceled attempt may keep running before
+	// the worker abandons it and moves on (0 = 2s). An abandoned run's
+	// goroutine leaks until its kernel unblocks; the alternative — a
+	// wedged campaign worker — is worse.
+	Grace time.Duration
+	// Breaker opens a (kernel set, variant) circuit after this many
+	// consecutive non-transient failures, skipping its remaining specs
+	// (0 = no breaker).
+	Breaker int
+	// Faults is the deterministic fault injector threaded through the
+	// run stack (resilience.ParseFaults). Nil — the production value —
+	// injects nothing.
+	Faults *resilience.Injector
 }
 
 // Event is one progress notification.
@@ -69,6 +121,9 @@ type Event struct {
 	Status  Status
 	Err     error
 	Elapsed time.Duration
+	// Attempts is how many run attempts the spec consumed (0 for specs
+	// that never ran: resumed, skipped, canceled before start).
+	Attempts int
 	// Finished counts specs that have reached a terminal state so far,
 	// Total the campaign's spec count.
 	Finished, Total int
@@ -82,38 +137,81 @@ type SpecResult struct {
 	Path    string           // profile file path when recorded
 	Profile *caliper.Profile // retained profile when Options.Retain
 	Elapsed time.Duration
+	// Attempts is how many run attempts were consumed (retry policy).
+	Attempts int
+	// KernelsFailed is the completed profile's kernels_failed count.
+	KernelsFailed int
 }
 
 // Result summarizes a campaign.
 type Result struct {
-	Specs   []SpecResult // one per plan spec, in plan order
-	Done    int          // ran to completion this campaign
-	Resumed int          // skipped as already complete
-	Failed  int
-	Elapsed time.Duration
+	Specs    []SpecResult // one per plan spec, in plan order
+	Done     int          // ran to completion this campaign
+	Resumed  int          // skipped as already complete
+	Failed   int
+	TimedOut int
+	Skipped  int
+	Elapsed  time.Duration
+	// Recovered reports what crash recovery repaired before a resumed
+	// campaign started (nil unless Options.Resume with an OutDir).
+	Recovered *RecoveryReport
 }
 
 // Err returns an error summarizing failed specs, or nil if none failed.
 func (r *Result) Err() error {
-	if r.Failed == 0 {
+	bad := r.Failed + r.TimedOut + r.Skipped
+	if bad == 0 {
 		return nil
 	}
 	for _, sr := range r.Specs {
-		if sr.Status == StatusFailed {
+		switch sr.Status {
+		case StatusFailed, StatusTimedOut, StatusSkipped:
 			return fmt.Errorf("campaign: %d of %d specs failed, first: %s: %w",
-				r.Failed, len(r.Specs), sr.Spec.ID(), sr.Err)
+				bad, len(r.Specs), sr.Spec.ID(), sr.Err)
 		}
 	}
 	return nil
 }
 
+// isManifestStatus reports whether a spec outcome is persisted in the
+// manifest. Resumed specs already have their entry; canceled specs must
+// stay absent so a resume re-runs them.
+func isManifestStatus(s Status) bool {
+	switch s {
+	case StatusDone, StatusFailed, StatusTimedOut, StatusSkipped:
+		return true
+	}
+	return false
+}
+
+// breakerKey groups specs whose failures are evidence about each other:
+// same kernel set under the same variant. Machines, sizes, and schedules
+// share the key — a kernel that cannot even configure or deterministically
+// panics does so everywhere.
+func breakerKey(s RunSpec) string {
+	k := "suite"
+	if len(s.Kernels) > 0 {
+		k = strings.Join(s.Kernels, "+")
+	}
+	return s.Variant + "/" + k
+}
+
+// idHash seeds a spec's deterministic backoff jitter from its identity.
+func idHash(id string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return h.Sum64()
+}
+
 // Run executes the plan: expand, skip what a previous campaign already
-// recorded (Resume), run the remainder on Workers concurrent runners, and
-// stream profiles + manifest updates to OutDir as specs finish. One spec
-// failing never aborts the campaign. Cancellation via ctx stops feeding
-// new specs, waits for in-flight runs to notice (the suite checks between
-// kernels), marks the rest canceled, and returns ctx.Err() alongside the
-// partial result — which a later Resume picks up.
+// recorded (Resume, after crash recovery), run the remainder on Workers
+// concurrent runners with per-spec retry/watchdog/breaker handling, and
+// stream profiles + journaled manifest updates to OutDir as specs finish.
+// One spec failing never aborts the campaign. Cancellation via ctx stops
+// feeding new specs, waits for in-flight runs to notice (the suite checks
+// between kernels; Grace bounds the wait), marks the rest canceled, and
+// returns ctx's cause alongside the partial result — which a later Resume
+// picks up, replaying the journal.
 func Run(ctx context.Context, plan Plan, opts Options) (*Result, error) {
 	specs, err := plan.Specs()
 	if err != nil {
@@ -124,24 +222,37 @@ func Run(ctx context.Context, plan Plan, opts Options) (*Result, error) {
 	}
 
 	man := NewManifest()
+	var jl *journal
+	res := &Result{Specs: make([]SpecResult, len(specs))}
 	if opts.OutDir != "" {
 		if opts.Resume {
-			if man, err = LoadManifest(opts.OutDir); err != nil {
+			var rep *RecoveryReport
+			if man, rep, err = Recover(opts.OutDir); err != nil {
 				return nil, err
 			}
-		} else if err := man.Write(opts.OutDir); err != nil {
+			res.Recovered = rep
+		} else {
 			// Surface an unwritable output directory before running
-			// anything.
+			// anything, and drop any journal a previous campaign left.
+			if err := man.Write(opts.OutDir); err != nil {
+				return nil, err
+			}
+			if err := os.Remove(JournalPath(opts.OutDir)); err != nil && !os.IsNotExist(err) {
+				return nil, fmt.Errorf("campaign: %w", err)
+			}
+		}
+		if jl, err = openJournal(opts.OutDir); err != nil {
 			return nil, err
 		}
+		defer jl.Close()
 	}
 
-	res := &Result{Specs: make([]SpecResult, len(specs))}
 	start := time.Now()
 	finished := 0
 
-	// Bookkeeping shared by the runners: manifest writes, result slots,
-	// and progress events are serialized under one lock.
+	// Bookkeeping shared by the runners: journal appends, manifest
+	// compaction, result slots, and progress events are serialized under
+	// one lock.
 	var mu sync.Mutex
 	record := func(i int, sr SpecResult) {
 		mu.Lock()
@@ -155,12 +266,17 @@ func Run(ctx context.Context, plan Plan, opts Options) (*Result, error) {
 			res.Resumed++
 		case StatusFailed:
 			res.Failed++
+		case StatusTimedOut:
+			res.TimedOut++
+		case StatusSkipped:
+			res.Skipped++
 		}
-		if opts.OutDir != "" && (sr.Status == StatusDone || sr.Status == StatusFailed) {
+		if opts.OutDir != "" && isManifestStatus(sr.Status) {
 			e := ManifestEntry{
-				Spec:    sr.Spec,
-				Status:  sr.Status,
-				WallSec: sr.Elapsed.Seconds(),
+				Spec:     sr.Spec,
+				Status:   sr.Status,
+				WallSec:  sr.Elapsed.Seconds(),
+				Attempts: sr.Attempts,
 			}
 			if sr.Path != "" {
 				e.File = filepath.Base(sr.Path)
@@ -169,20 +285,29 @@ func Run(ctx context.Context, plan Plan, opts Options) (*Result, error) {
 				e.Error = sr.Err.Error()
 			}
 			man.Entries[sr.Spec.ID()] = e
-			if err := man.Write(opts.OutDir); err != nil && sr.Status == StatusDone {
-				// A completed run whose checkpoint cannot be written
-				// must not claim to be resumable.
-				res.Specs[i].Status = StatusFailed
-				res.Specs[i].Err = err
-				res.Done--
-				res.Failed++
+			if err := jl.Append(sr.Spec.ID(), e, opts.Faults); err != nil {
+				if sr.Status == StatusDone {
+					// A completed run whose durability point cannot be
+					// reached must not claim to be resumable.
+					res.Specs[i].Status = StatusFailed
+					res.Specs[i].Err = err
+					res.Done--
+					res.Failed++
+				}
+			} else if jl.appends >= walCompactEvery {
+				// Fold the journal into the checkpoint; on a failed
+				// checkpoint write the journal simply keeps growing.
+				if man.Write(opts.OutDir) == nil {
+					jl.Reset()
+				}
 			}
 		}
 		if opts.Progress != nil {
 			sr = res.Specs[i]
 			opts.Progress(Event{
 				Spec: sr.Spec, Status: sr.Status, Err: sr.Err,
-				Elapsed: sr.Elapsed, Finished: finished, Total: len(specs),
+				Elapsed: sr.Elapsed, Attempts: sr.Attempts,
+				Finished: finished, Total: len(specs),
 			})
 		}
 	}
@@ -207,6 +332,7 @@ func Run(ctx context.Context, plan Plan, opts Options) (*Result, error) {
 	if lanes <= 0 {
 		lanes = max(1, runtime.NumCPU()/workers)
 	}
+	br := resilience.NewBreaker(opts.Breaker)
 
 	feed := make(chan int)
 	var wg sync.WaitGroup
@@ -215,7 +341,26 @@ func Run(ctx context.Context, plan Plan, opts Options) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range feed {
-				record(i, runSpec(ctx, specs[i], lanes, opts))
+				spec := specs[i]
+				key := breakerKey(spec)
+				if !br.Allow(key) {
+					record(i, SpecResult{
+						Spec:   spec,
+						Status: StatusSkipped,
+						Err:    fmt.Errorf("campaign: circuit open for %s: %s", key, br.Reason(key)),
+					})
+					continue
+				}
+				sr := runSpec(ctx, spec, lanes, opts)
+				switch sr.Status {
+				case StatusDone:
+					br.Success(key)
+				case StatusFailed:
+					if !resilience.IsTransient(sr.Err) {
+						br.Failure(key, sr.Err)
+					}
+				}
+				record(i, sr)
 			}
 		}()
 	}
@@ -240,20 +385,67 @@ feeding:
 	}
 	res.Elapsed = time.Since(start)
 	if canceled || ctx.Err() != nil {
+		// No final compaction: the journal stays on disk for recovery,
+		// exactly as after a kill.
 		return res, fmt.Errorf("campaign: canceled after %d of %d specs: %w",
 			res.Done+res.Resumed, len(specs), context.Cause(ctx))
+	}
+	if jl != nil && jl.appends > 0 {
+		mu.Lock()
+		if man.Write(opts.OutDir) == nil {
+			jl.Reset()
+		}
+		mu.Unlock()
 	}
 	return res, nil
 }
 
-// runSpec executes one spec on a private executor pool and records its
-// profile. All failure modes collapse into the SpecResult; nothing
-// propagates.
+// runSpec drives one spec through its retry loop. All failure modes
+// collapse into the SpecResult; nothing propagates.
 func runSpec(ctx context.Context, spec RunSpec, lanes int, opts Options) SpecResult {
-	sr := SpecResult{Spec: spec}
+	attempts := opts.Retry.Attempts()
 	start := time.Now()
-	defer func() { sr.Elapsed = time.Since(start) }()
+	var sr SpecResult
+	for a := 1; ; a++ {
+		sr = runAttempt(ctx, spec, lanes, opts, a)
+		sr.Attempts = a
+		if a >= attempts || !retryable(sr) {
+			break
+		}
+		delay := opts.Retry.Delay(a, idHash(spec.ID()))
+		select {
+		case <-ctx.Done():
+			sr.Status, sr.Err = StatusCanceled, context.Cause(ctx)
+		case <-time.After(delay):
+			continue
+		}
+		break
+	}
+	sr.Elapsed = time.Since(start)
+	return sr
+}
 
+// retryable classifies an attempt outcome for the retry loop: watchdog
+// cancellations and transient errors retry; so does a completed run whose
+// profile recorded failed kernels (a panicking kernel may be a one-off —
+// the next attempt overwrites the profile either way). Non-transient
+// failures and operator cancellation are terminal.
+func retryable(sr SpecResult) bool {
+	switch sr.Status {
+	case StatusTimedOut:
+		return true
+	case StatusFailed:
+		return resilience.IsTransient(sr.Err)
+	case StatusDone:
+		return sr.KernelsFailed > 0
+	}
+	return false
+}
+
+// runAttempt executes one attempt of one spec on a private executor pool
+// under a watchdog, and records its profile.
+func runAttempt(ctx context.Context, spec RunSpec, lanes int, opts Options, attempt int) SpecResult {
+	sr := SpecResult{Spec: spec}
 	if err := ctx.Err(); err != nil {
 		sr.Status, sr.Err = StatusCanceled, err
 		return sr
@@ -263,29 +455,95 @@ func runSpec(ctx context.Context, spec RunSpec, lanes int, opts Options) SpecRes
 		sr.Status, sr.Err = StatusFailed, err
 		return sr
 	}
+	// The run.transient fault models an environmental failure (allocation
+	// hiccup, filesystem blip) before the run starts: transient by
+	// construction, so the retry policy owns it.
+	if opts.Faults.Fire(resilience.FaultRunTransient) {
+		sr.Status = StatusFailed
+		sr.Err = resilience.MarkTransient(
+			fmt.Errorf("injected transient run error (%s, attempt %d)", spec.ID(), attempt))
+		return sr
+	}
 
 	// A private pool per in-flight run: executed kernels of concurrent
 	// runs never contend for lanes, and each run's worker count stays
 	// within its share of the machine.
 	pool := raja.NewPool(lanes)
-	defer pool.Close()
 	cfg.Pool = pool
 	if cfg.Workers <= 0 || cfg.Workers > lanes {
 		cfg.Workers = lanes
 	}
+	cfg.Faults = opts.Faults
+	// The watchdog's liveness signal: pool granules plus kernel
+	// boundaries, so model-only runs (which may never dispatch through
+	// the pool) still beat.
+	var kernelBeats atomic.Int64
+	cfg.Heartbeat = func() { kernelBeats.Add(1) }
 
-	p, err := suite.RunContext(ctx, cfg)
-	if err != nil {
-		if ctx.Err() != nil {
-			sr.Status, sr.Err = StatusCanceled, err
-		} else {
-			sr.Status, sr.Err = StatusFailed, err
+	runCtx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	wd := resilience.Watch(cancel,
+		resilience.WatchdogConfig{Timeout: opts.RunTimeout, StallTimeout: opts.StallTimeout},
+		func() int64 { return pool.Heartbeat() + kernelBeats.Load() })
+	defer wd.Stop()
+
+	type outcome struct {
+		p   *caliper.Profile
+		err error
+	}
+	outc := make(chan outcome, 1)
+	go func() {
+		defer pool.Close()
+		p, err := suite.RunContext(runCtx, cfg)
+		outc <- outcome{p, err}
+	}()
+
+	var out outcome
+	select {
+	case out = <-outc:
+	case <-runCtx.Done():
+		// The run was canceled (watchdog or operator); the suite notices
+		// at the next kernel boundary. Grace bounds how long we wait for
+		// that before abandoning the run so the worker survives a kernel
+		// wedged inside its body.
+		grace := opts.Grace
+		if grace <= 0 {
+			grace = 2 * time.Second
+		}
+		select {
+		case out = <-outc:
+		case <-time.After(grace):
+			cause := context.Cause(runCtx)
+			if errors.Is(cause, resilience.ErrRunTimeout) || errors.Is(cause, resilience.ErrRunStalled) {
+				sr.Status = StatusTimedOut
+			} else {
+				sr.Status = StatusCanceled
+			}
+			sr.Err = fmt.Errorf("campaign: run abandoned after %v grace: %w", grace, cause)
+			return sr
+		}
+	}
+	if out.err != nil {
+		cause := context.Cause(runCtx)
+		switch {
+		case errors.Is(cause, resilience.ErrRunTimeout) || errors.Is(cause, resilience.ErrRunStalled):
+			sr.Status, sr.Err = StatusTimedOut, out.err
+		case ctx.Err() != nil:
+			sr.Status, sr.Err = StatusCanceled, out.err
+		default:
+			sr.Status, sr.Err = StatusFailed, out.err
 		}
 		return sr
 	}
+	p := out.p
 	// Stamp the profile with its campaign identity: the resume validator
-	// checks it, and Thicket analyses group by it.
+	// checks it, and Thicket analyses group by it. The attempt ordinal
+	// rides along as adiak-style metadata.
 	p.Metadata["campaign.spec"] = spec.ID()
+	p.Metadata["campaign.attempt"] = attempt
+	if kf, ok := p.Metadata["kernels_failed"].(int); ok {
+		sr.KernelsFailed = kf
+	}
 
 	if opts.OutDir != "" {
 		path := filepath.Join(opts.OutDir, spec.FileName())
@@ -294,6 +552,14 @@ func runSpec(ctx context.Context, spec RunSpec, lanes int, opts Options) SpecRes
 			return sr
 		}
 		sr.Path = path
+		// The profile.corrupt fault tears the recorded bytes after the
+		// (atomic) write, modeling storage-level corruption: recovery
+		// quarantines the file and the spec re-runs on resume.
+		if opts.Faults.Fire(resilience.FaultCorruptProfile) {
+			if fi, err := os.Stat(path); err == nil && fi.Size() > 1 {
+				os.Truncate(path, fi.Size()/2)
+			}
+		}
 	}
 	if opts.Retain {
 		sr.Profile = p

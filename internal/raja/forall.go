@@ -97,6 +97,7 @@ func forallStatic(pool *Pool, workers int, r Range, body Body) {
 	if pool.forallStatic(r, body, chunks, chunk) {
 		return
 	}
+	pool.beats.Add(1)
 	spawnForallStatic(r, body, chunks, chunk, pool.activeInstr(), pool.activeTrace())
 }
 
@@ -128,6 +129,7 @@ func forallDynamic(pool *Pool, workers, block int, r Range, body Body) {
 	if pool.forallDynamic(r, body, block, workers) {
 		return
 	}
+	pool.beats.Add(1)
 	spawnForallDynamic(r, body, block, workers, pool.activeInstr(), pool.activeTrace())
 }
 
@@ -161,6 +163,7 @@ func forallGuided(pool *Pool, workers, minGrab int, r Range, body Body) {
 	if pool.forallGuided(r, body, minGrab, workers) {
 		return
 	}
+	pool.beats.Add(1)
 	spawnForallGuided(r, body, minGrab, workers, pool.activeInstr(), pool.activeTrace())
 }
 

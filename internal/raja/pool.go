@@ -90,7 +90,20 @@ type Pool struct {
 	instr   atomic.Pointer[Instr]
 	instrOn atomic.Bool
 	trace   atomic.Pointer[LaneTrace]
+
+	// beats is the pool's liveness counter: it advances once per executed
+	// scheduling granule on the pooled dispatch paths and once per
+	// dispatch on the spawn fallbacks. Unlike the Instr service it is
+	// always on — a single atomic add per granule — so run watchdogs can
+	// distinguish a hung dispatch (beats frozen) from a slow one (beats
+	// advancing) without enabling instrumentation.
+	beats atomic.Int64
 }
+
+// Heartbeat returns the pool's monotonic activity counter. Two equal
+// reads separated by a sampling interval mean no scheduling granule
+// completed in between — the hung-run signal resilience watchdogs key on.
+func (p *Pool) Heartbeat() int64 { return p.beats.Load() }
 
 type poolWorker struct {
 	wake chan struct{}
@@ -119,6 +132,7 @@ type poolTask struct {
 	// the uninstrumented hot path to a pair of nil checks per granule.
 	instr *Instr
 	trace LaneTrace
+	beats *atomic.Int64 // the owning pool's heartbeat counter
 }
 
 // NewPool returns a pool with n execution lanes (n-1 parked goroutines
@@ -202,6 +216,7 @@ func (p *Pool) acquire() bool {
 	}
 	p.task.instr = p.activeInstr()
 	p.task.trace = p.activeTrace()
+	p.task.beats = &p.beats
 	return true
 }
 
@@ -301,6 +316,7 @@ func (p *Pool) StaticChunks(workers, n int, f func(w, lo, hi int)) int {
 	chunk := (n + workers - 1) / workers
 	chunks := (n + chunk - 1) / chunk
 	if !p.staticChunks(chunks, chunk, n, f) {
+		p.beats.Add(1)
 		spawnStaticChunks(chunks, chunk, n, f, p.activeInstr(), p.activeTrace())
 	}
 	return chunks
@@ -352,6 +368,7 @@ func (p *Pool) DynamicBlocks(workers, block, n int, f func(lo, hi int)) {
 		return
 	}
 	if !p.dynamicBlocks(block, n, workers, f) {
+		p.beats.Add(1)
 		spawnDynamicBlocks(block, n, workers, f, p.activeInstr(), p.activeTrace())
 	}
 }
@@ -426,6 +443,7 @@ func (t *poolTask) runStatic(lane int) {
 				body(c, i)
 			}
 		}
+		t.beats.Add(1)
 		if measured {
 			// Chunk w's static owner is lane w%lanes == lane: static
 			// scheduling never steals.
@@ -462,6 +480,7 @@ func (t *poolTask) runDynamic(lane int) {
 				body(c, i)
 			}
 		}
+		t.beats.Add(1)
 		if measured {
 			t.measureGranule(lane, b%t.lanes, granuleBlock, start)
 		}
@@ -498,6 +517,7 @@ func (t *poolTask) runGuided(lane int) {
 		for i := lo; i < hi; i++ {
 			body(c, i)
 		}
+		t.beats.Add(1)
 		if measured {
 			t.measureGranule(lane, c.Block%t.lanes, granuleGrab, start)
 		}

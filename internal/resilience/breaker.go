@@ -1,0 +1,104 @@
+package resilience
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Breaker is a consecutive-failure circuit breaker over string keys.
+// After Threshold consecutive non-transient failures recorded against a
+// key, the circuit for that key opens: Allow returns false and the
+// caller skips the work instead of rescheduling it, recording the skip
+// reason (Reason). Any success resets the key's count. The campaign
+// orchestrator keys it by (kernel set, variant), so a variant whose
+// kernels deterministically fail stops burning attempts across every
+// machine and size of the plan.
+//
+// A nil *Breaker is valid: it allows everything and records nothing.
+// All methods are safe for concurrent use.
+type Breaker struct {
+	threshold int
+	mu        sync.Mutex
+	states    map[string]*breakerState
+}
+
+type breakerState struct {
+	consecutive int
+	open        bool
+	lastErr     string
+}
+
+// NewBreaker returns a breaker that opens a key after threshold
+// consecutive non-transient failures. A threshold below 1 disables
+// breaking entirely (returns nil).
+func NewBreaker(threshold int) *Breaker {
+	if threshold < 1 {
+		return nil
+	}
+	return &Breaker{threshold: threshold, states: map[string]*breakerState{}}
+}
+
+// Allow reports whether work under key may run (circuit closed).
+func (b *Breaker) Allow(key string) bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := b.states[key]
+	return s == nil || !s.open
+}
+
+// Success records a successful run under key, closing its count back to
+// zero (an open circuit stays open: specs already skipped are terminal,
+// and a key only succeeds again after an operator intervenes and
+// re-runs, which starts a fresh breaker).
+func (b *Breaker) Success(key string) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if s := b.states[key]; s != nil {
+		s.consecutive = 0
+	}
+}
+
+// Failure records a non-transient failure under key and reports whether
+// the circuit is now open. Callers must not feed transient failures
+// here — those are the retry Policy's business.
+func (b *Breaker) Failure(key string, err error) bool {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := b.states[key]
+	if s == nil {
+		s = &breakerState{}
+		b.states[key] = s
+	}
+	s.consecutive++
+	if err != nil {
+		s.lastErr = err.Error()
+	}
+	if s.consecutive >= b.threshold {
+		s.open = true
+	}
+	return s.open
+}
+
+// Reason describes why key's circuit is open ("" when closed).
+func (b *Breaker) Reason(key string) string {
+	if b == nil {
+		return ""
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := b.states[key]
+	if s == nil || !s.open {
+		return ""
+	}
+	return fmt.Sprintf("%d consecutive non-transient failures (last: %s)",
+		s.consecutive, s.lastErr)
+}

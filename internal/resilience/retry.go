@@ -1,0 +1,98 @@
+package resilience
+
+import (
+	"errors"
+	"time"
+)
+
+// Retry defaults, used when a Policy field is zero.
+const (
+	// DefaultBaseDelay is the backoff before the second attempt.
+	DefaultBaseDelay = 100 * time.Millisecond
+	// DefaultMaxDelay caps the exponential backoff.
+	DefaultMaxDelay = 5 * time.Second
+)
+
+// Policy is a retry policy for transiently-failed work: up to
+// MaxAttempts total attempts, with exponential backoff between them.
+// The zero Policy means one attempt — no retry — so callers that never
+// configure it keep the fail-fast behavior.
+type Policy struct {
+	// MaxAttempts bounds total attempts (first try included).
+	// Values below 1 mean 1.
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; each further
+	// attempt doubles it (0 = DefaultBaseDelay).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (0 = DefaultMaxDelay).
+	MaxDelay time.Duration
+}
+
+// Attempts returns the effective attempt budget (at least 1).
+func (p Policy) Attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// Delay returns the backoff to sleep after failed attempt number
+// `attempt` (1-based): BaseDelay doubled per attempt, capped at
+// MaxDelay, plus up to 50% deterministic jitter derived from seed — so
+// retries of different specs de-synchronize without any global PRNG
+// state, and a given (seed, attempt) always backs off identically.
+func (p Policy) Delay(attempt int, seed uint64) time.Duration {
+	base, cap := p.BaseDelay, p.MaxDelay
+	if base <= 0 {
+		base = DefaultBaseDelay
+	}
+	if cap <= 0 {
+		cap = DefaultMaxDelay
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := base
+	for i := 1; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	// Jitter in [0, d/2), deterministic in (seed, attempt).
+	j := time.Duration(mix64(seed^mix64(uint64(attempt))) % uint64(d/2+1))
+	return d + j
+}
+
+// TransientError marks an error as transient: worth retrying under a
+// Policy, and never counted by a circuit Breaker. Wrap with
+// MarkTransient, test with IsTransient; errors.Is/As unwrap through it.
+type TransientError struct {
+	Err error
+}
+
+func (e *TransientError) Error() string { return "transient: " + e.Err.Error() }
+
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// MarkTransient wraps err as transient. A nil err returns nil.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &TransientError{Err: err}
+}
+
+// IsTransient reports whether any error in err's chain is marked
+// transient, or is a watchdog cancellation cause (timed-out and stalled
+// runs are presumed transient: the next attempt gets a fresh deadline).
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var te *TransientError
+	if errors.As(err, &te) {
+		return true
+	}
+	return errors.Is(err, ErrRunTimeout) || errors.Is(err, ErrRunStalled)
+}

@@ -9,9 +9,11 @@ import (
 	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"rajaperf/internal/kernels"
 	"rajaperf/internal/machine"
+	"rajaperf/internal/resilience"
 )
 
 // injectKernel is a test-only kernel whose Run misbehaves on demand. It
@@ -199,5 +201,80 @@ func TestUnknownKernelFailsBeforeRunning(t *testing.T) {
 		Kernels: []string{"Stream_TRIAD", "No_Such_Kernel"},
 	}); err == nil {
 		t.Error("an unknown kernel name must be a plan error, not a silent skip")
+	}
+}
+
+func TestInjectedKernelPanicIsolated(t *testing.T) {
+	// A fault-injected panic lands inside executeKernel's lifecycle and
+	// must behave exactly like an organic kernel panic: recorded on the
+	// kernel node, counted in kernels_failed, run continues.
+	inj, err := resilience.ParseFaults("kernel.panic:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	beats := 0
+	p, err := Run(Config{
+		Machine:     machine.Host(),
+		Variant:     kernels.RAJASeq,
+		SizePerNode: 10_000,
+		Reps:        1,
+		Execute:     true,
+		Kernels:     []string{"Stream_TRIAD", "Stream_DOT"},
+		Faults:      inj,
+		Heartbeat:   func() { beats++ },
+	})
+	if err != nil {
+		t.Fatalf("injected panic must not abort the run: %v", err)
+	}
+	if got := p.Metadata["kernels_failed"].(int); got != 1 {
+		t.Errorf("kernels_failed = %v, want 1", got)
+	}
+	errs, _ := p.Metadata["errors"].([]string)
+	if len(errs) != 1 || !strings.Contains(errs[0], "injected") {
+		t.Errorf("errors = %v, want one injected-panic entry", errs)
+	}
+	// Count mode: exactly the first kernel panicked; the second ran clean.
+	if rec := p.Find("Stream_TRIAD"); rec == nil || rec.Metrics["error"] != 1 {
+		t.Error("first kernel must carry the error marker")
+	}
+	if rec := p.Find("Stream_DOT"); rec == nil || rec.Metrics["error"] == 1 {
+		t.Error("second kernel must be clean")
+	}
+	if inj.Fired(resilience.FaultKernelPanic) != 1 {
+		t.Errorf("fault fired %d times, want 1", inj.Fired(resilience.FaultKernelPanic))
+	}
+	// The kernel-boundary heartbeat ticked once per kernel.
+	if beats != 2 {
+		t.Errorf("heartbeat ticked %d times, want 2", beats)
+	}
+}
+
+func TestInjectedSlowLaneUnblocksOnCancel(t *testing.T) {
+	inj, err := resilience.ParseFaults("lane.slow:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel(resilience.ErrRunStalled)
+	}()
+	start := time.Now()
+	p, err := RunContext(ctx, Config{
+		Machine:     machine.Host(),
+		Variant:     kernels.RAJASeq,
+		SizePerNode: 10_000,
+		Reps:        1,
+		Execute:     true,
+		Kernels:     []string{"Stream_TRIAD", "Stream_DOT"},
+		Faults:      inj,
+	})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("slow-lane fault did not unblock on cancel (took %v)", elapsed)
+	}
+	// The hung kernel unblocks with the cancellation cause; the next
+	// kernel boundary then abandons the run with the same cause.
+	if p != nil || err == nil || !errors.Is(err, resilience.ErrRunStalled) {
+		t.Errorf("RunContext = (%v, %v), want the watchdog cause", p, err)
 	}
 }

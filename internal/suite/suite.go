@@ -34,6 +34,7 @@ import (
 	"rajaperf/internal/kernels"
 	"rajaperf/internal/machine"
 	"rajaperf/internal/raja"
+	"rajaperf/internal/resilience"
 	"rajaperf/internal/tma"
 
 	// Register all kernel groups.
@@ -70,6 +71,16 @@ type Config struct {
 	// Nil means the shared raja.Default() pool. Campaigns give every
 	// in-flight run its own pool so concurrent runs do not contend.
 	Pool *raja.Pool
+
+	// Faults is the deterministic fault injector exercising the run's
+	// failure paths (kernel.panic, lane.slow fire inside executeKernel).
+	// Nil — the production value — injects nothing.
+	Faults *resilience.Injector
+	// Heartbeat, when non-nil, is invoked at every kernel boundary. The
+	// campaign watchdog sums it with the pool's granule heartbeat so
+	// model-only runs (which may never dispatch through the pool) still
+	// report liveness.
+	Heartbeat func()
 
 	// Services selects the measurement services (caliper.ParseServices)
 	// active for the run: counter sources sampled at region boundaries,
@@ -113,7 +124,10 @@ func RunContext(ctx context.Context, cfg Config) (*caliper.Profile, error) {
 	r.rec.Begin("suite")
 	for _, k := range r.kernels {
 		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("suite: run canceled: %w", err)
+			return nil, fmt.Errorf("suite: run canceled: %w", context.Cause(ctx))
+		}
+		if cfg.Heartbeat != nil {
+			cfg.Heartbeat()
 		}
 		if err := r.runKernel(ctx, k); err != nil {
 			return nil, err
@@ -121,6 +135,11 @@ func RunContext(ctx context.Context, cfg Config) (*caliper.Profile, error) {
 	}
 	if err := r.rec.End("suite"); err != nil {
 		return nil, err
+	}
+	// A cancellation during the final kernel must not produce a profile:
+	// the run was abandoned, not completed.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("suite: run canceled: %w", context.Cause(ctx))
 	}
 	return r.finalize(), nil
 }
@@ -388,6 +407,22 @@ func (r *run) executeKernel(k kernels.Kernel, rp kernels.RunParams) (ex executio
 	}()
 	k.SetUp(rp)
 	defer k.TearDown()
+	// Injected faults exercise the isolation and watchdog paths exactly
+	// where a real kernel would fail: inside the lifecycle, with SetUp
+	// done and TearDown pending. A nil injector fires nothing.
+	if r.cfg.Faults.Fire(resilience.FaultKernelPanic) {
+		panic("injected: kernel panic (resilience fault " + resilience.FaultKernelPanic + ")")
+	}
+	if r.cfg.Faults.Fire(resilience.FaultSlowLane) {
+		// A wedged lane: hold the kernel until the watchdog (or operator)
+		// cancels the run. The backstop keeps an unwatched run finite.
+		select {
+		case <-rp.Ctx.Done():
+			return ex, fmt.Errorf("injected slow lane canceled: %w", context.Cause(rp.Ctx))
+		case <-time.After(30 * time.Second):
+			return ex, fmt.Errorf("injected slow lane expired without cancellation")
+		}
+	}
 	if !r.cfg.Execute {
 		return ex, nil
 	}

@@ -123,6 +123,32 @@ func FromDir(dir string) (*Thicket, error) {
 	return fromFrame(b.Finish()), nil
 }
 
+// FromDirLenient reads like FromDir but skips profiles that fail to
+// decode instead of failing the whole directory, returning the skipped
+// files alongside the Thicket. This is the ingestion mode for a
+// directory a crashed or fault-injected campaign may have left with
+// partial files: analysis proceeds on what is readable, and the caller
+// reports what was not. It still fails when nothing at all is readable.
+func FromDirLenient(dir string) (*Thicket, []caliper.FileError, error) {
+	b := frame.NewBuilder()
+	n := 0
+	ferrs, err := caliper.WalkDirLenient(dir, func(path string, p *caliper.Profile) error {
+		ingest(b, p)
+		n++
+		return nil
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("thicket: %w", err)
+	}
+	if n == 0 {
+		if len(ferrs) > 0 {
+			return nil, ferrs, fmt.Errorf("thicket: no readable profiles in %s (%d unreadable)", dir, len(ferrs))
+		}
+		return nil, nil, fmt.Errorf("thicket: no profiles found in %s", dir)
+	}
+	return fromFrame(b.Finish()), ferrs, nil
+}
+
 // ingest appends one profile to the builder.
 func ingest(b *frame.Builder, p *caliper.Profile) {
 	b.StartProfile(p.Metadata)

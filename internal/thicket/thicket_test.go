@@ -1,7 +1,9 @@
 package thicket
 
 import (
+	"fmt"
 	"math"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -180,5 +182,44 @@ func TestTreeRendering(t *testing.T) {
 		if strings.Contains(line, "Stream_TRIAD") && !strings.Contains(line, "  Stream_TRIAD") {
 			t.Errorf("kernel not indented under suite: %q", line)
 		}
+	}
+}
+
+func TestFromDirLenientSkipsTornProfiles(t *testing.T) {
+	dir := t.TempDir()
+	for i, m := range []string{"SPR-DDR", "SPR-HBM"} {
+		p := makeProfile("RAJA_Seq", m, map[string]float64{"K": float64(i + 1)})
+		if err := p.WriteFile(filepath.Join(dir, fmt.Sprintf("run%d%s", i, caliper.FileExt))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "torn"+caliper.FileExt), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Strict ingestion fails; lenient ingestion composes the readable
+	// profiles and reports the torn one.
+	if _, err := FromDir(dir); err == nil {
+		t.Error("strict FromDir accepted a torn profile")
+	}
+	tk, ferrs, err := FromDirLenient(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tk.NumProfiles() != 2 {
+		t.Errorf("NumProfiles = %d, want 2", tk.NumProfiles())
+	}
+	if len(ferrs) != 1 || !strings.Contains(ferrs[0].Path, "torn") {
+		t.Errorf("FileErrors = %v, want the torn file", ferrs)
+	}
+
+	// A directory with only unreadable profiles still errors, but names
+	// the count.
+	badDir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(badDir, "x"+caliper.FileExt), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ferrs, err := FromDirLenient(badDir); err == nil || len(ferrs) != 1 {
+		t.Errorf("all-torn dir = (%v, %v), want error plus the file list", ferrs, err)
 	}
 }
