@@ -1,0 +1,172 @@
+// Command benchgate is the CI regression gate for the query engine. It
+// parses `go test -bench` output containing the thicket sweep
+// benchmarks, computes the engine-vs-legacy speedup ratio, compares it
+// against the checked-in baseline, and emits a machine-readable
+// BENCH_query.json record.
+//
+// The gate is ratio-based on purpose: BenchmarkGroupStatsSweep (the
+// vectorized engine) and BenchmarkGroupStatsSweepLegacy (the preserved
+// row-at-a-time reference workload, serial) run in the same process on
+// the same corpus, so their ratio cancels out host speed and only a
+// genuine engine regression moves it. Absolute nanosecond thresholds
+// would flap with every CI hardware change; the ratio holds anywhere.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'GroupStatsSweep|QueryCached' -benchtime 1000x -count 3 ./internal/thicket/ | \
+//	  benchgate -baseline internal/thicket/testdata/bench_baseline.json -out BENCH_query.json
+//
+// With -count > 1 the minimum ns/op per benchmark is used — the least
+// noisy estimate of the true cost on a shared CI host.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// Baseline is the checked-in acceptance floor the gate enforces.
+type Baseline struct {
+	// SweepSpeedupVsLegacy is the recorded engine-vs-legacy ratio of the
+	// uncached grouped-aggregation sweep.
+	SweepSpeedupVsLegacy float64 `json:"sweep_speedup_vs_legacy"`
+	// TolerancePct is how far below the recorded ratio a run may land
+	// before the gate fails (benchmarking noise allowance).
+	TolerancePct float64 `json:"tolerance_pct"`
+	// CachedQueryMaxNs bounds a cache-served sweep pass; the engine's
+	// contract is sub-millisecond cached queries.
+	CachedQueryMaxNs float64 `json:"cached_query_max_ns"`
+}
+
+// Report is the BENCH_query.json payload.
+type Report struct {
+	SweepNs       float64  `json:"groupstats_sweep_ns"`
+	LegacySweepNs float64  `json:"groupstats_sweep_legacy_ns"`
+	CachedNs      float64  `json:"query_cached_ns"`
+	SweepSpeedup  float64  `json:"sweep_speedup_vs_legacy"`
+	Baseline      Baseline `json:"baseline"`
+	Pass          bool     `json:"pass"`
+	Failures      []string `json:"failures,omitempty"`
+}
+
+// benchLine matches one `go test -bench` result row, e.g.
+//
+//	BenchmarkGroupStatsSweep-8   1000   2888039 ns/op   433618 B/op ...
+var benchLine = regexp.MustCompile(`^(Benchmark\w+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench extracts min ns/op per benchmark name from -bench output.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+		}
+		if prev, ok := out[m[1]]; !ok || ns < prev {
+			out[m[1]] = ns
+		}
+	}
+	return out, sc.Err()
+}
+
+// gate builds the report and the list of failures from parsed results.
+func gate(results map[string]float64, bl Baseline) Report {
+	rep := Report{Baseline: bl}
+	var missing []string
+	get := func(name string) float64 {
+		ns, ok := results[name]
+		if !ok {
+			missing = append(missing, name)
+		}
+		return ns
+	}
+	rep.SweepNs = get("BenchmarkGroupStatsSweep")
+	rep.LegacySweepNs = get("BenchmarkGroupStatsSweepLegacy")
+	rep.CachedNs = get("BenchmarkQueryCached")
+	if len(missing) > 0 {
+		rep.Failures = append(rep.Failures, fmt.Sprintf("missing benchmarks in input: %v", missing))
+		return rep
+	}
+	rep.SweepSpeedup = rep.LegacySweepNs / rep.SweepNs
+
+	floor := bl.SweepSpeedupVsLegacy * (1 - bl.TolerancePct/100)
+	if rep.SweepSpeedup < floor {
+		rep.Failures = append(rep.Failures, fmt.Sprintf(
+			"sweep speedup %.2fx is below the gate floor %.2fx (baseline %.2fx - %.0f%% tolerance)",
+			rep.SweepSpeedup, floor, bl.SweepSpeedupVsLegacy, bl.TolerancePct))
+	}
+	if rep.CachedNs > bl.CachedQueryMaxNs {
+		rep.Failures = append(rep.Failures, fmt.Sprintf(
+			"cached query %.0f ns exceeds the %.0f ns bound",
+			rep.CachedNs, bl.CachedQueryMaxNs))
+	}
+	rep.Pass = len(rep.Failures) == 0
+	return rep
+}
+
+func run(in io.Reader, baselinePath, outPath string, stdout, stderr io.Writer) int {
+	blBytes, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchgate: %v\n", err)
+		return 2
+	}
+	var bl Baseline
+	if err := json.Unmarshal(blBytes, &bl); err != nil {
+		fmt.Fprintf(stderr, "benchgate: baseline %s: %v\n", baselinePath, err)
+		return 2
+	}
+	results, err := parseBench(in)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchgate: %v\n", err)
+		return 2
+	}
+	rep := gate(results, bl)
+	repBytes, _ := json.MarshalIndent(rep, "", "  ")
+	repBytes = append(repBytes, '\n')
+	if outPath != "" {
+		if err := os.WriteFile(outPath, repBytes, 0o644); err != nil {
+			fmt.Fprintf(stderr, "benchgate: %v\n", err)
+			return 2
+		}
+	}
+	stdout.Write(repBytes)
+	if !rep.Pass {
+		for _, f := range rep.Failures {
+			fmt.Fprintf(stderr, "benchgate: FAIL: %s\n", f)
+		}
+		return 1
+	}
+	fmt.Fprintf(stderr, "benchgate: PASS: sweep %.2fx vs legacy, cached %.0f ns\n",
+		rep.SweepSpeedup, rep.CachedNs)
+	return 0
+}
+
+func main() {
+	baseline := flag.String("baseline", "internal/thicket/testdata/bench_baseline.json",
+		"path to the checked-in baseline JSON")
+	out := flag.String("out", "BENCH_query.json", "path to write the report JSON ('' = stdout only)")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+	os.Exit(run(in, *baseline, *out, os.Stdout, os.Stderr))
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: rajaperf/internal/thicket
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkGroupStatsSweep       	    1000	   2888039 ns/op	  433618 B/op	     341 allocs/op
+BenchmarkGroupStatsSweep       	    1000	   2705804 ns/op	  433618 B/op	     341 allocs/op
+BenchmarkQueryCached           	    1000	      1906 ns/op	    2112 B/op	      32 allocs/op
+BenchmarkGroupStatsSweepLegacy-4 	    1000	  14530118 ns/op	12984961 B/op	   20382 allocs/op
+PASS
+ok  	rajaperf/internal/thicket	22.697s
+`
+
+func TestParseBenchTakesMinAndStripsProcSuffix(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkGroupStatsSweep":       2705804,
+		"BenchmarkQueryCached":           1906,
+		"BenchmarkGroupStatsSweepLegacy": 14530118,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s = %v, want %v", k, got[k], v)
+		}
+	}
+}
+
+func TestGatePassesWithinTolerance(t *testing.T) {
+	bl := Baseline{SweepSpeedupVsLegacy: 5.0, TolerancePct: 15, CachedQueryMaxNs: 1e6}
+	rep := gate(map[string]float64{
+		"BenchmarkGroupStatsSweep":       3_000_000, // 4.5x: above the 4.25x floor
+		"BenchmarkGroupStatsSweepLegacy": 13_500_000,
+		"BenchmarkQueryCached":           2_000,
+	}, bl)
+	if !rep.Pass {
+		t.Fatalf("expected pass, failures: %v", rep.Failures)
+	}
+	if rep.SweepSpeedup < 4.49 || rep.SweepSpeedup > 4.51 {
+		t.Fatalf("speedup = %v", rep.SweepSpeedup)
+	}
+}
+
+func TestGateFailsOnSweepRegression(t *testing.T) {
+	bl := Baseline{SweepSpeedupVsLegacy: 5.0, TolerancePct: 15, CachedQueryMaxNs: 1e6}
+	rep := gate(map[string]float64{
+		"BenchmarkGroupStatsSweep":       4_000_000, // 3.5x: below the 4.25x floor
+		"BenchmarkGroupStatsSweepLegacy": 14_000_000,
+		"BenchmarkQueryCached":           2_000,
+	}, bl)
+	if rep.Pass || len(rep.Failures) != 1 {
+		t.Fatalf("expected one failure, got pass=%v failures=%v", rep.Pass, rep.Failures)
+	}
+}
+
+func TestGateFailsOnSlowCachedQuery(t *testing.T) {
+	bl := Baseline{SweepSpeedupVsLegacy: 5.0, TolerancePct: 15, CachedQueryMaxNs: 1e6}
+	rep := gate(map[string]float64{
+		"BenchmarkGroupStatsSweep":       2_700_000,
+		"BenchmarkGroupStatsSweepLegacy": 14_000_000,
+		"BenchmarkQueryCached":           2e6, // 2 ms
+	}, bl)
+	if rep.Pass {
+		t.Fatal("expected failure")
+	}
+}
+
+func TestGateFailsOnMissingBenchmark(t *testing.T) {
+	bl := Baseline{SweepSpeedupVsLegacy: 5.0, TolerancePct: 15, CachedQueryMaxNs: 1e6}
+	rep := gate(map[string]float64{"BenchmarkGroupStatsSweep": 1}, bl)
+	if rep.Pass {
+		t.Fatal("expected failure on missing benchmarks")
+	}
+}
+
+func TestRunEndToEndWritesReport(t *testing.T) {
+	dir := t.TempDir()
+	blPath := filepath.Join(dir, "baseline.json")
+	outPath := filepath.Join(dir, "BENCH_query.json")
+	if err := os.WriteFile(blPath, []byte(
+		`{"sweep_speedup_vs_legacy": 5.0, "tolerance_pct": 15, "cached_query_max_ns": 1000000}`,
+	), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr strings.Builder
+	code := run(strings.NewReader(sampleBench), blPath, outPath, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass || rep.SweepSpeedup < 5 {
+		t.Fatalf("report: %+v", rep)
+	}
+}
+
+func TestRunFailsOnBadBaselinePath(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run(strings.NewReader(""), "/nonexistent/baseline.json", "", &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d", code)
+	}
+}

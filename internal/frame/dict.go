@@ -204,6 +204,20 @@ func (c *Column) pad(n int) {
 	}
 }
 
+// padWords extends the validity bitmap to cover all n rows, so sealed
+// columns always expose exactly (n+63)/64 words — the invariant the
+// word-at-a-time query kernels scan without per-word bounds checks.
+func (c *Column) padWords(n int) {
+	words := (n + 63) / 64
+	for len(c.valid) < words {
+		c.valid = append(c.valid, 0)
+	}
+}
+
+// validWords returns the validity words (shared; read-only). Sealed
+// columns carry exactly ceil(rows/64) words.
+func (c *Column) validWords() []uint64 { return c.valid }
+
 // Value returns the cell at row, with ok reporting validity.
 func (c *Column) Value(row int32) (float64, bool) {
 	i := int(row)

@@ -2,6 +2,7 @@ package frame
 
 import (
 	"fmt"
+	"sort"
 	"unsafe"
 )
 
@@ -35,8 +36,11 @@ type Frame struct {
 	meta       []map[string]any // per profile
 	profStarts []int32          // per profile: first row (rows are contiguous per profile)
 
-	index    rowIndex  // (profile, node) -> first row; built by finish
-	nodeRows [][]int32 // per node id: rows carrying the node, in row order; built by finish
+	index     rowIndex  // (profile, node) -> first row; built by finish
+	nodeRows  [][]int32 // per node id: rows carrying the node, in row order; built by finish
+	nodeOrder []int32   // node ids in name order; built by finish
+
+	hash uint64 // content hash accumulated during ingest (see hash.go)
 }
 
 func indexKey(prof, node int32) uint64 {
@@ -120,6 +124,9 @@ func (f *Frame) MetaString(p int32, key string) string {
 	if !ok {
 		return MissingKey
 	}
+	if s, ok := v.(string); ok { // fmt.Sprint of a string is the string
+		return s
+	}
 	return fmt.Sprint(v)
 }
 
@@ -185,6 +192,7 @@ func (f *Frame) finish() *Frame {
 	n := len(f.nodeIDs)
 	for _, c := range f.cols {
 		c.pad(n)
+		c.padWords(n)
 	}
 
 	counts := make([]int32, f.nodes.Len())
@@ -219,6 +227,16 @@ func (f *Frame) finish() *Frame {
 			f.nodeRows[id] = append(f.nodeRows[id], int32(r))
 		}
 	}
+	// Node ids in name order, computed once at seal: every grouped
+	// aggregation emits its nodes name-sorted, and walking this order
+	// beats re-sorting each group's surviving ids query after query.
+	f.nodeOrder = make([]int32, f.nodes.Len())
+	for i := range f.nodeOrder {
+		f.nodeOrder[i] = int32(i)
+	}
+	sort.Slice(f.nodeOrder, func(i, j int) bool {
+		return f.nodes.Name(f.nodeOrder[i]) < f.nodes.Name(f.nodeOrder[j])
+	})
 	return f
 }
 
@@ -230,6 +248,7 @@ type Builder struct {
 	keyBuf []byte // scratch for path-key lookups
 	colCap int    // row capacity hint for newly interned metric columns
 	names  nameCache
+	mHash  []uint64 // per metric id: name hash, memoized for the row hash
 }
 
 // nameCache memoizes metric-name interning by string identity: profiles
@@ -289,6 +308,7 @@ func (b *Builder) StartProfile(meta map[string]any) int32 {
 	}
 	f.meta = append(f.meta, meta)
 	f.profStarts = append(f.profStarts, int32(len(f.nodeIDs)))
+	f.hash = mix64(f.hash ^ metaHash(meta) ^ hashSeed)
 	return id
 }
 
@@ -327,6 +347,9 @@ func (b *Builder) AddRow(path []string, metrics map[string]float64) {
 	f.pathIDs = append(f.pathIDs, pid)
 	f.profIDs = append(f.profIDs, prof)
 
+	// Row content hash: the path id plus the metric cells, the latter
+	// combined order-independently (metrics is a map).
+	rowHash := mix64(uint64(uint32(pid)) + hashSeed)
 	for name, v := range metrics {
 		var mi int32
 		nc := &b.names
@@ -341,8 +364,13 @@ func (b *Builder) AddRow(path []string, metrics map[string]float64) {
 		for int(mi) >= len(f.cols) {
 			f.cols = append(f.cols, newColumn(b.colCap))
 		}
+		for int(mi) >= len(b.mHash) {
+			b.mHash = append(b.mHash, strHash(f.metrics.Name(int32(len(b.mHash)))))
+		}
 		f.cols[mi].set(row, v)
+		rowHash ^= rowMetricHash(b.mHash[mi], v)
 	}
+	f.hash = mix64(f.hash ^ rowHash)
 }
 
 // Finish seals and returns the frame. The builder must not be used

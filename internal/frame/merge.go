@@ -39,15 +39,32 @@ func Merge(parts ...Part) *Frame {
 		meta:       make([]map[string]any, 0, totalProfs),
 		profStarts: make([]int32, 0, totalProfs),
 	}
+	// The merged content hash chains the part hashes with their
+	// selections — no rescan of the moved cells.
+	for _, p := range parts {
+		f.hash = mix64(f.hash ^ p.F.Hash() ^ selHash(p.Sel))
+	}
 
 	for _, part := range parts {
 		src := part.F
 		profBase := int32(len(f.meta))
 
-		// Remap the source dictionaries into the merged ones. Path
-		// segments and metadata maps are shared, not copied.
+		// Remap the source dictionaries into the merged ones lazily: a
+		// source path (and its node name) is interned only when a selected
+		// row actually references it, so merging filtered views never
+		// leaks phantom nodes into the merged dictionaries. Path segments
+		// and metadata maps are shared, not copied.
+		const unmapped = int32(-2)
 		pathMap := make([]int32, src.paths.Len())
-		for sid, key := range src.paths.Names() {
+		for i := range pathMap {
+			pathMap[i] = unmapped
+		}
+		remapPath := func(sid int32) int32 {
+			pid := pathMap[sid]
+			if pid != unmapped {
+				return pid
+			}
+			key := src.paths.Name(sid)
 			pid, known := f.paths.Lookup(key)
 			if !known {
 				pid = f.paths.Intern(key)
@@ -59,10 +76,7 @@ func Merge(parts ...Part) *Frame {
 				f.pathNode = append(f.pathNode, node)
 			}
 			pathMap[sid] = pid
-		}
-		nodeMap := make([]int32, src.nodes.Len())
-		for sid, name := range src.nodes.Names() {
-			nodeMap[sid] = f.nodes.Intern(name)
+			return pid
 		}
 
 		// Profile metadata: all source profiles, renumbered.
@@ -74,14 +88,17 @@ func Merge(parts ...Part) *Frame {
 		f.meta = append(f.meta, src.meta...)
 
 		// Index columns, row by row over the selection. The (node,
-		// profile) index and node postings are rebuilt by finish.
+		// profile) index and node postings are rebuilt by finish. A row's
+		// node id is its path's node — the same invariant the Builder
+		// maintains — so one path remap resolves both index columns.
 		appendRow := func(r int32) {
 			row := int32(len(f.nodeIDs))
 			if starts[src.profIDs[r]] < 0 {
 				starts[src.profIDs[r]] = row
 			}
-			f.nodeIDs = append(f.nodeIDs, nodeMap[src.nodeIDs[r]])
-			f.pathIDs = append(f.pathIDs, pathMap[src.pathIDs[r]])
+			pid := remapPath(src.pathIDs[r])
+			f.nodeIDs = append(f.nodeIDs, f.pathNode[pid])
+			f.pathIDs = append(f.pathIDs, pid)
 			f.profIDs = append(f.profIDs, profBase+src.profIDs[r])
 		}
 		if part.Sel == nil {

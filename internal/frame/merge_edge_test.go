@@ -1,0 +1,82 @@
+package frame
+
+import "testing"
+
+// TestMergeEmptySelectionPart: a part whose selection is empty must
+// contribute its profile metadata (ids stay resolvable) but no rows and
+// no dictionary entries.
+func TestMergeEmptySelectionPart(t *testing.T) {
+	f := buildTestFrame(t)
+	m := Merge(Part{F: f, Sel: []int32{}}, Part{F: f, Sel: []int32{4}})
+	if m.NumProfiles() != 4 {
+		t.Fatalf("profiles = %d, want 4", m.NumProfiles())
+	}
+	if m.NumRows() != 1 {
+		t.Fatalf("rows = %d, want 1", m.NumRows())
+	}
+	// Only node C (row 4's node) may be interned: the empty part must not
+	// leak A and B into the merged dictionary.
+	if m.NodeDict().Len() != 1 || m.NodeDict().Name(0) != "C" {
+		t.Fatalf("merged node dict = %v, want [C]", m.NodeDict().Names())
+	}
+	// Every profile of the empty part collapses to an empty range.
+	for p := int32(0); p < 2; p++ {
+		if lo, hi := m.ProfileRange(p); lo != hi {
+			t.Fatalf("ProfileRange(%d) = [%d, %d), want empty", p, lo, hi)
+		}
+	}
+	// Metadata of row-less profiles is still addressable.
+	if m.MetaString(0, "machine") != "m0" {
+		t.Fatalf("MetaString(0) = %q", m.MetaString(0, "machine"))
+	}
+}
+
+// TestMergeSelectionDropsNode: filtering one node out of a part must not
+// leave its name in the merged dictionary.
+func TestMergeSelectionDropsNode(t *testing.T) {
+	f := buildTestFrame(t)
+	// Rows 2 and 3 are node B; rows 0, 1 (A) and 4 (C) are excluded.
+	m := Merge(Part{F: f, Sel: []int32{2, 3}})
+	if got := m.NodeDict().Names(); len(got) != 1 || got[0] != "B" {
+		t.Fatalf("merged node dict = %v, want [B]", got)
+	}
+	if _, ok := m.NodeDict().Lookup("A"); ok {
+		t.Fatal("phantom node A interned by merge")
+	}
+	bid, _ := m.NodeDict().Lookup("B")
+	if got := m.NodeRows(bid); len(got) != 2 {
+		t.Fatalf("NodeRows(B) = %v", got)
+	}
+}
+
+// TestMergeAllInvalidColumn: the metric schema is the union of the
+// sources, but a column whose every selected cell is invalid must report
+// no valid values rather than fabricating zeros.
+func TestMergeAllInvalidColumn(t *testing.T) {
+	f := buildTestFrame(t)
+	// Rows 2 and 3 (node B) carry "time" but never "flops".
+	m := Merge(Part{F: f, Sel: []int32{2, 3}})
+	col := m.Column("flops")
+	if col == nil {
+		t.Skip("schema union dropped the column (also acceptable)")
+	}
+	if col.AnyValid(nil) {
+		t.Fatal("all-invalid flops column reports a valid cell")
+	}
+	for r := int32(0); r < int32(m.NumRows()); r++ {
+		if _, ok := col.Value(r); ok {
+			t.Fatalf("flops valid at merged row %d", r)
+		}
+	}
+	if v, ok := m.Column("time").Value(0); !ok || v != 2 {
+		t.Fatalf("time at merged row 0 = %v, %v, want 2", v, ok)
+	}
+}
+
+// TestMergeNoParts: Merge of nothing is an empty frame, not a panic.
+func TestMergeNoParts(t *testing.T) {
+	m := Merge()
+	if m.NumRows() != 0 || m.NumProfiles() != 0 {
+		t.Fatalf("empty merge = %d rows, %d profiles", m.NumRows(), m.NumProfiles())
+	}
+}

@@ -1,171 +1,56 @@
 package thicket
 
 import (
-	"math"
-	"sort"
-
+	"rajaperf/internal/frame"
 	"rajaperf/internal/raja"
 )
 
 // Stats summarizes one metric for one node across profiles — a row of the
-// Thicket aggregated-statistics component.
-type Stats struct {
-	Node   string
-	Metric string
-	Count  int
-	Mean   float64
-	Median float64
-	Std    float64
-	Min    float64
-	Max    float64
+// Thicket aggregated-statistics component. It is the frame engine's row
+// type: aggregations run in the vectorized query layer and cached result
+// slices are returned as-is, without conversion.
+type Stats = frame.Stats
+
+// eng is the engine every Thicket aggregation runs on: the process-wide
+// frame engine, with its per-bucket summary fan-out wired to the suite's
+// own executor pool — the suite analyzing itself with its own executor.
+var eng = frame.DefaultEngine()
+
+func init() {
+	eng.SetParallel(func(n int, body func(lo, hi int)) {
+		raja.Default().StaticChunks(0, n, func(_, lo, hi int) { body(lo, hi) })
+	})
 }
 
-// statsParallelThreshold is the gathered-value count above which
-// AggregateStats fans the per-node summaries out across the executor
-// pool; below it the dispatch overhead outweighs the sorts.
-const statsParallelThreshold = 4096
+// Query starts a lazy engine query over this view. Composing Where /
+// GroupBy clauses and executing Rows / Groups / Stats on it is the typed,
+// cacheable counterpart of the closure-based Filter and GroupStats
+// wrappers below; results of cacheable queries are shared with the
+// engine's LRU and must be treated as read-only.
+func (t *Thicket) Query() *frame.Query { return eng.Query(t.f, t.sel) }
 
 // AggregateStats computes per-node summary statistics of a metric across
-// all composed profiles in this view. Values gather in one dense pass
-// over the metric column; the per-node summaries (each sorts its sample
-// for the median) fan out across a raja.Pool — the suite analyzing
-// itself with its own executor. Results are deterministic regardless of
-// lane count.
+// all composed profiles in this view, through the engine's fused
+// aggregation: one counting pass and one fill pass over the metric
+// column's validity words — no per-node append growth — with the
+// per-node summaries fanned out across the raja pool above the engine's
+// parallel threshold. Results are deterministic regardless of lane
+// count, cached by frame content hash, and shared: read-only.
 func (t *Thicket) AggregateStats(metric string) []Stats {
-	col := t.f.Column(metric)
-	if col == nil {
+	if t.f.Column(metric) == nil {
 		return nil
 	}
-	dict := t.f.NodeDict()
-	byNode := make([][]float64, dict.Len())
-	nodeIDs := t.f.NodeIDs()
-	total := 0
-	t.eachRow(func(r int32) {
-		id := nodeIDs[r]
-		if id < 0 {
-			return
-		}
-		if v, ok := col.Value(r); ok {
-			byNode[id] = append(byNode[id], v)
-			total++
-		}
-	})
-	ids := make([]int32, 0, dict.Len())
-	for id := range byNode {
-		if len(byNode[id]) > 0 {
-			ids = append(ids, int32(id))
-		}
-	}
-	sort.Slice(ids, func(i, j int) bool { return dict.Name(ids[i]) < dict.Name(ids[j]) })
-
-	out := make([]Stats, len(ids))
-	fill := func(i int) {
-		out[i] = summarize(dict.Name(ids[i]), metric, byNode[ids[i]])
-	}
-	if total >= statsParallelThreshold && len(ids) > 1 {
-		raja.Default().StaticChunks(0, len(ids), func(_, lo, hi int) {
-			for i := lo; i < hi; i++ {
-				fill(i)
-			}
-		})
-	} else {
-		for i := range ids {
-			fill(i)
-		}
+	out := t.Query().Stats(metric)[""]
+	if out == nil {
+		// An empty view aggregates to zero rows, not to "no such metric".
+		out = []Stats{}
 	}
 	return out
 }
 
-// summarize computes the summary of xs, reordering xs in place (the
-// median is a quickselect, not a full sort — per-node samples are the
-// inner loop of every grouped aggregation).
-func summarize(node, metric string, xs []float64) Stats {
-	s := Stats{Node: node, Metric: metric, Count: len(xs)}
-	if len(xs) == 0 {
-		return s
-	}
-	sum := 0.0
-	s.Min, s.Max = xs[0], xs[0]
-	for _, x := range xs {
-		sum += x
-		if x < s.Min {
-			s.Min = x
-		}
-		if x > s.Max {
-			s.Max = x
-		}
-	}
-	s.Mean = sum / float64(len(xs))
-	varsum := 0.0
-	for _, x := range xs {
-		d := x - s.Mean
-		varsum += d * d
-	}
-	if len(xs) > 1 {
-		s.Std = math.Sqrt(varsum / float64(len(xs)-1))
-	}
-	s.Median = medianInPlace(xs)
-	return s
-}
-
-// medianInPlace returns the median of xs, partially reordering it.
-func medianInPlace(xs []float64) float64 {
-	n := len(xs)
-	k := n / 2
-	quickselect(xs, k)
-	if n%2 == 1 {
-		return xs[k]
-	}
-	// The lower middle is the max of the partition left of k.
-	lo := xs[0]
-	for _, x := range xs[1:k] {
-		if x > lo {
-			lo = x
-		}
-	}
-	return 0.5 * (lo + xs[k])
-}
-
-// quickselect reorders xs so xs[k] is its k-th order statistic and every
-// element left of k is <= xs[k]. Median-of-three pivoting; deterministic
-// for a given input order.
-func quickselect(xs []float64, k int) {
-	lo, hi := 0, len(xs)-1
-	for lo < hi {
-		mid := lo + (hi-lo)/2
-		if xs[mid] < xs[lo] {
-			xs[mid], xs[lo] = xs[lo], xs[mid]
-		}
-		if xs[hi] < xs[lo] {
-			xs[hi], xs[lo] = xs[lo], xs[hi]
-		}
-		if xs[hi] < xs[mid] {
-			xs[hi], xs[mid] = xs[mid], xs[hi]
-		}
-		pivot := xs[mid]
-		i, j := lo, hi
-		for i <= j {
-			for xs[i] < pivot {
-				i++
-			}
-			for xs[j] > pivot {
-				j--
-			}
-			if i <= j {
-				xs[i], xs[j] = xs[j], xs[i]
-				i++
-				j--
-			}
-		}
-		if k <= j {
-			hi = j
-		} else if k >= i {
-			lo = i
-		} else {
-			return
-		}
-	}
-}
+// medianInPlace returns the median of xs, partially reordering it — the
+// engine's quickselect, re-exported for the statistical edge-case tests.
+func medianInPlace(xs []float64) float64 { return frame.MedianInPlace(xs) }
 
 // GroupStats partitions the view by a metadata key and computes the
 // per-node summary statistics of a metric within each group — the
@@ -174,67 +59,56 @@ func quickselect(xs []float64, k int) {
 // (executor.schedule, executor.services) and the imbalance metrics the
 // measurement services attach (imbalance_pct, lane_busy_max_sec, ...).
 // Group keys are the stringified metadata values; profiles lacking the
-// key aggregate under MissingKey. Each group is a selection view, so the
-// whole pass copies no rows.
+// key aggregate under MissingKey. The engine fuses grouping and
+// aggregation into two passes over the metric column; no per-group
+// selections are materialized. Results are cached and shared: read-only.
 func (t *Thicket) GroupStats(key, metric string) map[string][]Stats {
-	out := map[string][]Stats{}
-	for k, sub := range t.GroupBy(key) {
-		out[k] = sub.AggregateStats(metric)
+	return t.Query().GroupBy(key).Stats(metric)
+}
+
+// GroupStatsSweep runs GroupStats for every key x metric combination —
+// the paper's per-machine/per-variant/per-tuning analysis sweep. Each
+// cell is one fused engine aggregation (and one cache entry, so re-running
+// the sweep over an identically composed campaign is pure cache hits).
+func (t *Thicket) GroupStatsSweep(keys, metrics []string) map[string]map[string]map[string][]Stats {
+	out := make(map[string]map[string]map[string][]Stats, len(keys))
+	for _, key := range keys {
+		q := t.Query().GroupBy(key)
+		byMetric := make(map[string]map[string][]Stats, len(metrics))
+		for _, metric := range metrics {
+			byMetric[metric] = q.Stats(metric)
+		}
+		out[key] = byMetric
 	}
 	return out
 }
 
 // SpeedupTable computes, per node, baselineMetric/otherMetric between two
 // Thickets (e.g. modeled time on SPR-DDR vs another machine) — the
-// derivation behind the paper's Fig 7-9 speedup columns. Nodes missing in
-// either Thicket are skipped. Both sides scan one metric column; node
-// names bridge the two frames' dictionaries.
+// derivation behind the paper's Fig 7-9 speedup columns. Each side
+// resolves through the engine to its last positive metric value per node
+// (last in row order — the resolution the legacy row scan converged to);
+// nodes missing a positive value on either side are skipped. Node names
+// bridge the two frames' dictionaries.
 func SpeedupTable(baseline, other *Thicket, metric string) map[string]float64 {
-	bcol := baseline.f.Column(metric)
-	if bcol == nil {
-		return map[string]float64{}
-	}
-	bdict := baseline.f.NodeDict()
-	base := make([]float64, bdict.Len())
-	bnodeIDs := baseline.f.NodeIDs()
-	baseline.eachRow(func(r int32) {
-		id := bnodeIDs[r]
-		if id < 0 {
-			return
-		}
-		if v, ok := bcol.Value(r); ok && v > 0 {
-			base[id] = v
-		}
-	})
-
 	out := map[string]float64{}
-	ocol := other.f.Column(metric)
-	if ocol == nil {
+	if baseline.f.Column(metric) == nil || other.f.Column(metric) == nil {
 		return out
 	}
+	baseLast := baseline.Query().LastPositivePerNode(metric)
+	otherLast := other.Query().LastPositivePerNode(metric)
+	bdict := baseline.f.NodeDict()
 	odict := other.f.NodeDict()
-	onodeIDs := other.f.NodeIDs()
-	// Cache the other frame's node-id -> baseline value resolution.
-	lookup := make([]float64, odict.Len())
-	looked := make([]int8, odict.Len()) // 0 unknown, 1 found, 2 absent
-	other.eachRow(func(r int32) {
-		id := onodeIDs[r]
-		if id < 0 {
-			return
+	for id, v := range otherLast {
+		if v <= 0 {
+			continue
 		}
-		if looked[id] == 0 {
-			looked[id] = 2
-			if bid, ok := bdict.Lookup(odict.Name(id)); ok && base[bid] > 0 {
-				lookup[id] = base[bid]
-				looked[id] = 1
-			}
+		name := odict.Name(int32(id))
+		bid, ok := bdict.Lookup(name)
+		if !ok || baseLast[bid] <= 0 {
+			continue
 		}
-		if looked[id] != 1 {
-			return
-		}
-		if v, ok := ocol.Value(r); ok && v > 0 {
-			out[odict.Name(id)] = lookup[id] / v
-		}
-	})
+		out[name] = baseLast[bid] / v
+	}
 	return out
 }

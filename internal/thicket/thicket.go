@@ -157,6 +157,41 @@ func ingest(b *frame.Builder, p *caliper.Profile) {
 	}
 }
 
+// Composer streams profiles into an incrementally composed Thicket: Add
+// appends, Snapshot seals the current state into a queryable view
+// without re-ingesting what is already composed (an O(k)-ingest,
+// O(n)-seal cut over shared column storage — see frame.Incremental).
+// Earlier snapshots stay valid and readable while ingest continues.
+// Add/Snapshot follow the Builder contract: one goroutine, or external
+// synchronization.
+type Composer struct {
+	inc *frame.Incremental
+}
+
+// NewComposer returns an empty streaming composition.
+func NewComposer() *Composer { return &Composer{inc: frame.NewIncremental()} }
+
+// Reserve presizes for about rows total DataFrame rows.
+func (c *Composer) Reserve(rows int) { c.inc.Reserve(rows) }
+
+// Add appends one profile to the composition.
+func (c *Composer) Add(p *caliper.Profile) {
+	c.inc.StartProfile(p.Metadata)
+	for i := range p.Records {
+		c.inc.AddRow(p.Records[i].Path, p.Records[i].Metrics)
+	}
+}
+
+// NumProfiles returns the number of profiles added so far.
+func (c *Composer) NumProfiles() int { return c.inc.NumProfiles() }
+
+// Snapshot seals the profiles added so far into a Thicket. The ingest
+// sequence determines the underlying frame's content hash, so a
+// snapshot re-hits the engine's cached query results of any equally
+// composed thicket, and appending invalidates nothing but reachability —
+// stale entries simply age out of the LRU.
+func (c *Composer) Snapshot() *Thicket { return fromFrame(c.inc.Snapshot()) }
+
 // NumProfiles returns the number of composed runs.
 func (t *Thicket) NumProfiles() int { return t.f.NumProfiles() }
 
@@ -275,95 +310,45 @@ func Concat(ts ...*Thicket) *Thicket {
 	return fromFrame(frame.Merge(parts...))
 }
 
+// Where returns the sub-view of rows satisfying every predicate,
+// executed by the engine with predicate pushdown: metadata conjuncts
+// skip whole profile row ranges, node conjuncts resolve once per
+// distinct node, and pure metric conjuncts run vectorized over the
+// column validity bitmaps. Selections of cacheable predicate sets are
+// shared with the engine's cache — read-only, like every view.
+func (t *Thicket) Where(ps ...frame.Pred) *Thicket {
+	if len(ps) == 0 {
+		return t
+	}
+	return &Thicket{f: t.f, sel: t.Query().Where(ps...).Rows()}
+}
+
 // Filter returns a view containing only rows whose profile metadata
 // satisfies pred. Metadata of all profiles is retained (IDs are stable).
-// pred is evaluated once per profile that has selected rows.
+// pred is evaluated once per profile. Prefer Where with frame.MetaEq /
+// frame.MetaIn where possible — closure predicates cannot be cached.
 func (t *Thicket) Filter(pred func(md map[string]any) bool) *Thicket {
-	decided := make([]int8, t.f.NumProfiles()) // 0 unknown, 1 keep, 2 drop
-	profIDs := t.f.ProfIDs()
-	var sel []int32
-	t.eachRow(func(r int32) {
-		p := profIDs[r]
-		if decided[p] == 0 {
-			if pred(t.f.Meta(p)) {
-				decided[p] = 1
-			} else {
-				decided[p] = 2
-			}
-		}
-		if decided[p] == 1 {
-			sel = append(sel, r)
-		}
-	})
-	return &Thicket{f: t.f, sel: sel}
+	return t.Where(frame.MetaPred(pred))
 }
 
 // FilterNodes returns a view with only rows whose node satisfies pred.
-// pred is evaluated once per distinct node name.
+// pred is evaluated once per distinct node name. Prefer Where with
+// frame.NodeEq / frame.NodeIn where possible — closure predicates
+// cannot be cached.
 func (t *Thicket) FilterNodes(pred func(node string) bool) *Thicket {
-	dict := t.f.NodeDict()
-	decided := make([]int8, dict.Len())
-	nodeIDs := t.f.NodeIDs()
-	var sel []int32
-	t.eachRow(func(r int32) {
-		id := nodeIDs[r]
-		if id < 0 {
-			return
-		}
-		if decided[id] == 0 {
-			if pred(dict.Name(id)) {
-				decided[id] = 1
-			} else {
-				decided[id] = 2
-			}
-		}
-		if decided[id] == 1 {
-			sel = append(sel, r)
-		}
-	})
-	return &Thicket{f: t.f, sel: sel}
+	return t.Where(frame.NodePred(pred))
 }
 
 // GroupBy partitions the view by the string value of a metadata key,
 // returning sub-views keyed by that value. Profiles lacking the key are
-// grouped under MissingKey. A profile's rows are contiguous in any view,
-// so the group key resolves once per profile run — the per-row work is
-// one slice append.
+// grouped under MissingKey. The engine resolves the group key once per
+// profile and emits per-group selections in one scan; the selections
+// are shared with the engine's cache — read-only, like every view.
 func (t *Thicket) GroupBy(key string) map[string]*Thicket {
-	sels := map[string]*[]int32{}
-	group := func(p int32) *[]int32 {
-		k := t.f.MetaString(p, key)
-		s, ok := sels[k]
-		if !ok {
-			s = new([]int32)
-			sels[k] = s
-		}
-		return s
-	}
-	if t.sel == nil {
-		for p := int32(0); p < int32(t.f.NumProfiles()); p++ {
-			lo, hi := t.f.ProfileRange(p)
-			if lo == hi {
-				continue
-			}
-			s := group(p)
-			for r := lo; r < hi; r++ {
-				*s = append(*s, r)
-			}
-		}
-	} else {
-		profIDs := t.f.ProfIDs()
-		cur, curProf := (*[]int32)(nil), int32(-1)
-		for _, r := range t.sel {
-			if p := profIDs[r]; p != curProf {
-				curProf, cur = p, group(p)
-			}
-			*cur = append(*cur, r)
-		}
-	}
-	out := make(map[string]*Thicket, len(sels))
-	for k, sel := range sels {
-		out[k] = &Thicket{f: t.f, sel: *sel}
+	groups := t.Query().GroupBy(key).Groups()
+	out := make(map[string]*Thicket, len(groups))
+	for k, sel := range groups {
+		out[k] = &Thicket{f: t.f, sel: sel}
 	}
 	return out
 }
