@@ -17,6 +17,8 @@ import (
 	"sort"
 
 	"rajaperf/internal/campaign"
+	"rajaperf/internal/raja"
+	"rajaperf/internal/telemetry"
 	"rajaperf/internal/thicket"
 )
 
@@ -30,11 +32,31 @@ func main() {
 		tree      = flag.Int("tree", -1, "render the call tree of the given profile index")
 		export    = flag.String("export", "", "dump the composed tables: csv or json")
 		exportDir = flag.String("export-dir", ".", "directory the -export files are written to")
+
+		metricsAddr  = flag.String("metrics-addr", "", "serve the telemetry plane (/metrics, /debug/vars, /healthz, /debug/pprof) on this address")
+		teleInterval = flag.Duration("telemetry-interval", 0, "flush registry deltas into -export-dir as telemetry profiles at this period (0 = off)")
+		quiet        = flag.Bool("quiet", false, "log errors only")
+		verbose      = flag.Bool("v", false, "log debug detail")
 	)
 	flag.Parse()
 
-	if err := run(*dir, *metric, *top, *groupby, *speedup, *tree, *export, *exportDir); err != nil {
+	telemetry.SetDefault(telemetry.NewLogger(os.Stderr, telemetry.ParseLevel(*quiet, *verbose)))
+	raja.Default().EnableTelemetry(nil)
+	_, teleStop, err := telemetry.Boot(telemetry.BootOptions{
+		Addr:       *metricsAddr,
+		FlushDir:   *exportDir,
+		FlushEvery: *teleInterval,
+		Meta:       map[string]any{"telemetry.source": "rajaperf-analyze", "telemetry.dir": *dir},
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "rajaperf-analyze:", err)
+		os.Exit(1)
+	}
+
+	runErr := run(*dir, *metric, *top, *groupby, *speedup, *tree, *export, *exportDir)
+	teleStop()
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "rajaperf-analyze:", runErr)
 		os.Exit(1)
 	}
 }
@@ -48,7 +70,7 @@ func run(dir, metric string, top int, groupby, speedupBase string, tree int, exp
 		return err
 	}
 	for _, fe := range ferrs {
-		fmt.Fprintf(os.Stderr, "rajaperf-analyze: skipping unreadable profile: %v\n", fe)
+		telemetry.L().Warn("skipping unreadable profile", "err", fe)
 	}
 	if export != "" {
 		return exportTables(tk, export, exportDir)

@@ -19,6 +19,8 @@ import (
 
 	"rajaperf/internal/analysis"
 	"rajaperf/internal/machine"
+	"rajaperf/internal/raja"
+	"rajaperf/internal/telemetry"
 )
 
 func main() {
@@ -32,8 +34,27 @@ func main() {
 		dir     = flag.String("dir", "", "seed the profile cache from this campaign directory instead of re-running cached machines")
 		export  = flag.String("export", "", "also dump the composed cross-machine thicket: csv or json")
 		exdir   = flag.String("export-dir", ".", "directory the -export files are written to")
+
+		metricsAddr  = flag.String("metrics-addr", "", "serve the telemetry plane (/metrics, /debug/vars, /healthz, /debug/pprof) on this address")
+		teleInterval = flag.Duration("telemetry-interval", 0, "flush registry deltas into -export-dir as telemetry profiles at this period (0 = off)")
+		quiet        = flag.Bool("quiet", false, "log errors only")
+		verbose      = flag.Bool("v", false, "log debug detail")
 	)
 	flag.Parse()
+
+	telemetry.SetDefault(telemetry.NewLogger(os.Stderr, telemetry.ParseLevel(*quiet, *verbose)))
+	raja.Default().EnableTelemetry(nil)
+	_, teleStop, err := telemetry.Boot(telemetry.BootOptions{
+		Addr:       *metricsAddr,
+		FlushDir:   *exdir,
+		FlushEvery: *teleInterval,
+		Meta:       map[string]any{"telemetry.source": "rajaperf-experiments"},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rajaperf-experiments:", err)
+		os.Exit(1)
+	}
+	defer teleStop()
 
 	s := analysis.NewSession(*size, *execute)
 	s.Jobs = *jobs
@@ -44,7 +65,7 @@ func main() {
 			os.Exit(1)
 		}
 		for _, fe := range ferrs {
-			fmt.Fprintf(os.Stderr, "rajaperf-experiments: skipping unreadable profile: %v\n", fe)
+			telemetry.L().Warn("skipping unreadable profile", "err", fe)
 		}
 		fmt.Printf("loaded %d cached profiles from %s\n", loaded, *dir)
 	}

@@ -22,8 +22,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -40,6 +38,7 @@ import (
 	"rajaperf/internal/report"
 	"rajaperf/internal/resilience"
 	"rajaperf/internal/suite"
+	"rajaperf/internal/telemetry"
 )
 
 // main delegates to realMain so the deferred cleanups — pool shutdown
@@ -90,9 +89,19 @@ func realMain() int {
 		breaker     = flag.Int("breaker", 0, "open a (kernel set, variant) circuit after this many consecutive non-transient failures, skipping its remaining specs (0 = off)")
 		traceOut    = flag.String("trace", "", "write a Chrome-trace JSON event trace to this path (enables the trace service)")
 		cpuprof     = flag.String("pprof", "", "write a CPU profile of the run to this path")
-		pprofSrv    = flag.String("pprof-http", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's duration")
+		pprofSrv    = flag.String("pprof-http", "", "deprecated alias for -metrics-addr")
+
+		// Telemetry plane: live HTTP exposition plus periodic flushing of
+		// registry deltas into the output directory as telemetry profiles.
+		metricsAddr  = flag.String("metrics-addr", "", "serve the telemetry plane (/metrics, /debug/vars, /healthz, /events, /debug/pprof) on this address, e.g. localhost:6060")
+		teleInterval = flag.Duration("telemetry-interval", 0, "flush registry deltas into -outdir as telemetry_*.cali.json profiles at this period (0 = off)")
+		quiet        = flag.Bool("quiet", false, "log errors only")
+		verbose      = flag.Bool("v", false, "log debug detail (per-spec scheduling, heartbeats)")
 	)
 	flag.Parse()
+
+	log := telemetry.NewLogger(os.Stderr, telemetry.ParseLevel(*quiet, *verbose))
+	telemetry.SetDefault(log)
 
 	// Every parallel region of the process — suite runs, reports, and
 	// scaling studies alike — dispatches through the shared persistent
@@ -120,8 +129,8 @@ func realMain() int {
 	}
 
 	// Profiling of the tool itself: -pprof writes a CPU profile of
-	// whatever mode runs below; -pprof-http exposes the live pprof
-	// endpoints for the run's duration.
+	// whatever mode runs below; the telemetry server carries the live
+	// pprof endpoints alongside /metrics.
 	if *cpuprof != "" {
 		f, err := os.Create(*cpuprof)
 		if err != nil {
@@ -135,13 +144,24 @@ func realMain() int {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	if *pprofSrv != "" {
-		go func() {
-			if err := http.ListenAndServe(*pprofSrv, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "rajaperf: pprof-http:", err)
-			}
-		}()
+
+	// The telemetry plane: the default pool's dispatch metrics, the event
+	// bus every progress consumer shares, the HTTP server (promoted from
+	// the old -pprof-http ListenAndServe), and the periodic snapshotter.
+	raja.Default().EnableTelemetry(nil)
+	bus := new(telemetry.Bus)
+	_, teleStop, err := telemetry.Boot(telemetry.BootOptions{
+		Addr:       orDefault(*metricsAddr, *pprofSrv),
+		Bus:        bus,
+		FlushDir:   *outdir,
+		FlushEvery: *teleInterval,
+		Meta:       map[string]any{"telemetry.source": "rajaperf", "telemetry.dir": *outdir},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rajaperf:", err)
+		return 1
 	}
+	defer teleStop()
 
 	if *list {
 		for _, n := range kernels.Names() {
@@ -159,6 +179,7 @@ func realMain() int {
 			execute: *execute, outdir: *outdir, jobs: *jobs, resume: *resume,
 			maxAttempts: *maxAttempts, runTimeout: *runTimeout,
 			stallTimeout: *stallT, breaker: *breaker, faults: inj,
+			bus: bus,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rajaperf:", err)
@@ -211,6 +232,11 @@ type campaignArgs struct {
 	runTimeout, stallTimeout time.Duration
 	breaker                  int
 	faults                   *resilience.Injector
+
+	// bus is the process event bus: the campaign publishes its progress
+	// here, and both the CLI printer below and any /events SSE client
+	// consume the same stream.
+	bus *telemetry.Bus
 }
 
 // runCampaign plans and executes a campaign, streaming progress lines as
@@ -244,8 +270,16 @@ func runCampaign(a campaignArgs) (int, error) {
 	if err != nil {
 		return 2, err
 	}
-	fmt.Printf("campaign: %d specs -> %s (jobs %d, resume %v)\n",
-		len(specs), a.outdir, a.jobs, a.resume)
+	log := telemetry.L()
+	log.Info("campaign planned", "specs", len(specs), "outdir", a.outdir,
+		"jobs", a.jobs, "resume", a.resume)
+
+	// Progress consumer: the campaign publishes to the bus (the same
+	// stream /events serves over SSE); this subscriber renders it as
+	// structured log lines. The bus — not this printer — is the source
+	// of truth, so an operator watching SSE and one watching the
+	// terminal see identical transitions.
+	printerDone := watchProgress(a.bus, log)
 
 	// Interrupt (ctrl-C) cancels cleanly: in-flight runs stop between
 	// kernels, the manifest stays consistent, and -resume continues.
@@ -261,31 +295,10 @@ func runCampaign(a campaignArgs) (int, error) {
 		StallTimeout: a.stallTimeout,
 		Breaker:      a.breaker,
 		Faults:       a.faults,
-		Progress: func(ev campaign.Event) {
-			switch ev.Status {
-			case campaign.StatusDone:
-				attempts := ""
-				if ev.Attempts > 1 {
-					attempts = fmt.Sprintf(" [attempt %d]", ev.Attempts)
-				}
-				fmt.Printf("[%d/%d] done    %s (%.2fs)%s\n",
-					ev.Finished, ev.Total, ev.Spec.ID(), ev.Elapsed.Seconds(), attempts)
-			case campaign.StatusResumed:
-				fmt.Printf("[%d/%d] resumed %s\n", ev.Finished, ev.Total, ev.Spec.ID())
-			case campaign.StatusFailed:
-				fmt.Printf("[%d/%d] FAILED  %s: %v\n",
-					ev.Finished, ev.Total, ev.Spec.ID(), ev.Err)
-			case campaign.StatusTimedOut:
-				fmt.Printf("[%d/%d] TIMEOUT %s: %v\n",
-					ev.Finished, ev.Total, ev.Spec.ID(), ev.Err)
-			case campaign.StatusSkipped:
-				fmt.Printf("[%d/%d] skipped %s: %v\n",
-					ev.Finished, ev.Total, ev.Spec.ID(), ev.Err)
-			case campaign.StatusCanceled:
-				fmt.Printf("[%d/%d] canceled %s\n", ev.Finished, ev.Total, ev.Spec.ID())
-			}
-		},
+		Bus:          a.bus,
+		Campaign:     a.outdir,
 	})
+	printerDone()
 	if res != nil {
 		if rep := res.Recovered; rep != nil && !rep.Empty() {
 			fmt.Printf("recovery: %s\n", rep)
@@ -305,6 +318,57 @@ func runCampaign(a campaignArgs) (int, error) {
 		return 1, ferr
 	}
 	return 0, nil
+}
+
+// watchProgress subscribes to the campaign event bus and renders each
+// event as a structured log line: terminal spec statuses at info/warn/
+// error, scheduling and heartbeats at debug. The returned function
+// detaches the subscription and waits for the printer to drain, so no
+// event logged by the campaign is lost at shutdown.
+func watchProgress(bus *telemetry.Bus, log *telemetry.Logger) func() {
+	if bus == nil {
+		return func() {}
+	}
+	sub := bus.Subscribe(256, 0)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for ev := range sub.C {
+			kv := []any{"campaign", ev.Campaign}
+			switch ev.Type {
+			case "campaign":
+				log.Info("campaign "+ev.Status, append(kv, "finished", ev.Finished, "total", ev.Total)...)
+			case "heartbeat":
+				log.Debug("heartbeat", append(kv, "finished", ev.Finished, "total", ev.Total, "in_flight", ev.InFlight)...)
+			case "run":
+				kv = append(kv, "run", ev.Run, "n", fmt.Sprintf("%d/%d", ev.Finished, ev.Total))
+				switch campaign.Status(ev.Status) {
+				case campaign.StatusDone:
+					kv = append(kv, "elapsed_sec", fmt.Sprintf("%.2f", ev.Elapsed))
+					if ev.Attempts > 1 {
+						kv = append(kv, "attempts", ev.Attempts)
+					}
+					log.Info("done", kv...)
+				case campaign.StatusResumed:
+					log.Info("resumed", kv...)
+				case campaign.StatusFailed:
+					log.Error("failed", append(kv, "err", ev.Err)...)
+				case campaign.StatusTimedOut:
+					log.Warn("timed out", append(kv, "err", ev.Err)...)
+				case campaign.StatusSkipped:
+					log.Warn("skipped", append(kv, "err", ev.Err)...)
+				case campaign.StatusCanceled:
+					log.Info("canceled", kv...)
+				default: // "running" and any future phases
+					log.Debug(ev.Status, kv...)
+				}
+			}
+		}
+	}()
+	return func() {
+		sub.Close()
+		<-done
+	}
 }
 
 // orDefault returns s, or def when s is empty.

@@ -35,6 +35,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"rajaperf/internal/caliper"
 	"rajaperf/internal/resilience"
@@ -67,6 +68,9 @@ type walRecord struct {
 type journal struct {
 	f       *os.File
 	appends int
+	// tele times each append's write+fsync (the spec durability point)
+	// into campaign.wal.*; nil-safe via the handles' nil receivers.
+	tele *walTele
 }
 
 // openJournal opens (creating if needed) the campaign directory's journal
@@ -96,11 +100,19 @@ func (j *journal) Append(id string, e ManifestEntry, inj *resilience.Injector) e
 	if inj.Fire(resilience.FaultTornManifest) {
 		buf = buf[:1+len(rec)/2]
 	}
+	var start time.Time
+	if j.tele != nil {
+		start = time.Now()
+	}
 	if _, err := j.f.Write(buf); err != nil {
 		return fmt.Errorf("campaign: journal append: %w", err)
 	}
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("campaign: journal sync: %w", err)
+	}
+	if j.tele != nil {
+		j.tele.appends.Inc()
+		j.tele.appendNS.Observe(time.Since(start).Nanoseconds())
 	}
 	j.appends++
 	return nil

@@ -39,6 +39,7 @@ import (
 	"rajaperf/internal/raja"
 	"rajaperf/internal/resilience"
 	"rajaperf/internal/suite"
+	"rajaperf/internal/telemetry"
 )
 
 // Status is the terminal state of one spec within a campaign.
@@ -113,6 +114,22 @@ type Options struct {
 	// run stack (resilience.ParseFaults). Nil — the production value —
 	// injects nothing.
 	Faults *resilience.Injector
+
+	// Metrics is the registry campaign metrics record into (nil =
+	// telemetry.Default(), the registry the CLIs expose on /metrics).
+	Metrics *telemetry.Registry
+	// Bus, when non-nil, receives the live event stream: one "campaign"
+	// event at start and end, one "run" event per spec status transition,
+	// and periodic "heartbeat" events. The bus — not stderr — is the
+	// source of truth for progress; the CLI progress printer and every
+	// /events SSE client are subscribers of the same stream.
+	Bus *telemetry.Bus
+	// Campaign is the identity stamped on bus events and flushed
+	// telemetry profiles (default: OutDir, or "campaign" when in-memory).
+	Campaign string
+	// EventInterval is the heartbeat event period when Bus is set
+	// (0 = 1s).
+	EventInterval time.Duration
 }
 
 // Event is one progress notification.
@@ -221,6 +238,15 @@ func Run(ctx context.Context, plan Plan, opts Options) (*Result, error) {
 		return nil, errors.New("campaign: plan expands to zero specs (over-filtered?)")
 	}
 
+	tele := newCampaignTele(opts.Metrics)
+	campID := opts.Campaign
+	if campID == "" {
+		campID = opts.OutDir
+	}
+	if campID == "" {
+		campID = "campaign"
+	}
+
 	man := NewManifest()
 	var jl *journal
 	res := &Result{Specs: make([]SpecResult, len(specs))}
@@ -231,6 +257,7 @@ func Run(ctx context.Context, plan Plan, opts Options) (*Result, error) {
 				return nil, err
 			}
 			res.Recovered = rep
+			tele.recordRecovery(rep)
 		} else {
 			// Surface an unwritable output directory before running
 			// anything, and drop any journal a previous campaign left.
@@ -244,11 +271,24 @@ func Run(ctx context.Context, plan Plan, opts Options) (*Result, error) {
 		if jl, err = openJournal(opts.OutDir); err != nil {
 			return nil, err
 		}
+		jl.tele = tele.wal()
 		defer jl.Close()
 	}
 
 	start := time.Now()
 	finished := 0
+
+	// The live event stream: campaign start, per-spec transitions (in
+	// record below), periodic heartbeats, campaign end. All nil-safe.
+	opts.Bus.Publish(telemetry.Event{
+		Type: "campaign", Campaign: campID, Status: "started", Total: len(specs),
+	})
+	var finishedA atomic.Int64
+	hbStop := make(chan struct{})
+	heartbeats(opts.Bus, campID, opts.EventInterval, func() (int, int, int) {
+		return int(finishedA.Load()), len(specs), int(tele.inFlight.Value())
+	}, hbStop)
+	defer close(hbStop)
 
 	// Bookkeeping shared by the runners: journal appends, manifest
 	// compaction, result slots, and progress events are serialized under
@@ -302,8 +342,11 @@ func Run(ctx context.Context, plan Plan, opts Options) (*Result, error) {
 				}
 			}
 		}
+		sr = res.Specs[i]
+		finishedA.Store(int64(finished))
+		tele.recordOutcome(sr)
+		publishRun(opts.Bus, campID, sr, finished, len(specs))
 		if opts.Progress != nil {
-			sr = res.Specs[i]
 			opts.Progress(Event{
 				Spec: sr.Spec, Status: sr.Status, Err: sr.Err,
 				Elapsed: sr.Elapsed, Attempts: sr.Attempts,
@@ -351,7 +394,13 @@ func Run(ctx context.Context, plan Plan, opts Options) (*Result, error) {
 					})
 					continue
 				}
-				sr := runSpec(ctx, spec, lanes, opts)
+				opts.Bus.Publish(telemetry.Event{
+					Type: "run", Campaign: campID, Run: spec.ID(), Status: "running",
+					Total: len(specs),
+				})
+				tele.inFlight.Add(1)
+				sr := runSpec(ctx, spec, lanes, opts, tele)
+				tele.inFlight.Add(-1)
 				switch sr.Status {
 				case StatusDone:
 					br.Success(key)
@@ -387,6 +436,10 @@ feeding:
 	if canceled || ctx.Err() != nil {
 		// No final compaction: the journal stays on disk for recovery,
 		// exactly as after a kill.
+		opts.Bus.Publish(telemetry.Event{
+			Type: "campaign", Campaign: campID, Status: "canceled",
+			Finished: finished, Total: len(specs), Elapsed: res.Elapsed.Seconds(),
+		})
 		return res, fmt.Errorf("campaign: canceled after %d of %d specs: %w",
 			res.Done+res.Resumed, len(specs), context.Cause(ctx))
 	}
@@ -397,21 +450,26 @@ feeding:
 		}
 		mu.Unlock()
 	}
+	opts.Bus.Publish(telemetry.Event{
+		Type: "campaign", Campaign: campID, Status: "finished",
+		Finished: finished, Total: len(specs), Elapsed: res.Elapsed.Seconds(),
+	})
 	return res, nil
 }
 
 // runSpec drives one spec through its retry loop. All failure modes
 // collapse into the SpecResult; nothing propagates.
-func runSpec(ctx context.Context, spec RunSpec, lanes int, opts Options) SpecResult {
+func runSpec(ctx context.Context, spec RunSpec, lanes int, opts Options, tele *campaignTele) SpecResult {
 	attempts := opts.Retry.Attempts()
 	start := time.Now()
 	var sr SpecResult
 	for a := 1; ; a++ {
-		sr = runAttempt(ctx, spec, lanes, opts, a)
+		sr = runAttempt(ctx, spec, lanes, opts, a, tele)
 		sr.Attempts = a
 		if a >= attempts || !retryable(sr) {
 			break
 		}
+		tele.noteRetry(sr)
 		delay := opts.Retry.Delay(a, idHash(spec.ID()))
 		select {
 		case <-ctx.Done():
@@ -444,7 +502,7 @@ func retryable(sr SpecResult) bool {
 
 // runAttempt executes one attempt of one spec on a private executor pool
 // under a watchdog, and records its profile.
-func runAttempt(ctx context.Context, spec RunSpec, lanes int, opts Options, attempt int) SpecResult {
+func runAttempt(ctx context.Context, spec RunSpec, lanes int, opts Options, attempt int, tele *campaignTele) SpecResult {
 	sr := SpecResult{Spec: spec}
 	if err := ctx.Err(); err != nil {
 		sr.Status, sr.Err = StatusCanceled, err
@@ -467,10 +525,20 @@ func runAttempt(ctx context.Context, spec RunSpec, lanes int, opts Options, atte
 
 	// A private pool per in-flight run: executed kernels of concurrent
 	// runs never contend for lanes, and each run's worker count stays
-	// within its share of the machine.
+	// within its share of the machine. Dispatch telemetry aggregates the
+	// per-run pools into the campaign registry's raja.pool.* series
+	// (counters only — the liveness gauges belong to the process pool).
+	// An explicit per-run worker request (spec Workers / -workers) wins
+	// over the derived lane count: the pool grows to match, so a small
+	// host still exercises pooled parallel regions instead of silently
+	// serializing them through the workers<=1 bypass.
+	if cfg.Workers > lanes {
+		lanes = cfg.Workers
+	}
 	pool := raja.NewPool(lanes)
+	pool.EnableDispatchTelemetry(tele.reg)
 	cfg.Pool = pool
-	if cfg.Workers <= 0 || cfg.Workers > lanes {
+	if cfg.Workers <= 0 {
 		cfg.Workers = lanes
 	}
 	cfg.Faults = opts.Faults

@@ -1,0 +1,218 @@
+package campaign
+
+// End-to-end telemetry acceptance: a campaign instrumented with a
+// metrics registry and event bus produces (a) an ordered event stream
+// whose terminal statuses match the campaign result, (b) registry
+// counters that reconcile with the manifest, and (c) — after a flush —
+// a telemetry profile in the campaign directory that composes through
+// thicket.FromDirLenient and answers query-engine aggregations next to
+// the kernel profiles it describes.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"rajaperf/internal/frame"
+	"rajaperf/internal/telemetry"
+	"rajaperf/internal/thicket"
+)
+
+func TestCampaignTelemetryEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	reg := &telemetry.Registry{}
+	bus := &telemetry.Bus{}
+	sub := bus.Subscribe(4096, 0)
+	defer sub.Close()
+
+	// The flusher baseline must predate the campaign so the delta
+	// captures it.
+	fl := telemetry.NewFlusher(reg, dir, time.Second, map[string]any{
+		"telemetry.source": "campaign-e2e",
+	})
+
+	plan := executePlan(2)
+	res, err := Run(context.Background(), plan, Options{
+		OutDir:   dir,
+		Workers:  2,
+		Metrics:  reg,
+		Bus:      bus,
+		Campaign: "e2e",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Done != 4 {
+		t.Fatalf("campaign done = %d, want 4", res.Done)
+	}
+	if err := fl.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fl.Written()) != 1 {
+		t.Fatalf("flusher wrote %d profiles, want 1", len(fl.Written()))
+	}
+
+	// (a) The event stream: strictly increasing Seq, campaign start and
+	// finish bracketing exactly four terminal "done" run events, all
+	// stamped with the campaign identity.
+	var (
+		lastSeq            int64
+		started, finished  int
+		running, doneRuns  int
+		sawHeartbeatFields = true
+	)
+drain:
+	for {
+		select {
+		case ev := <-sub.C:
+			if ev.Seq <= lastSeq {
+				t.Fatalf("event seq %d not after %d", ev.Seq, lastSeq)
+			}
+			lastSeq = ev.Seq
+			if ev.Campaign != "e2e" {
+				t.Fatalf("event %+v lacks the campaign identity", ev)
+			}
+			switch {
+			case ev.Type == "campaign" && ev.Status == "started":
+				started++
+			case ev.Type == "campaign" && ev.Status == "finished":
+				finished++
+			case ev.Type == "run" && ev.Status == "running":
+				running++
+			case ev.Type == "run" && ev.Status == string(StatusDone):
+				doneRuns++
+				if ev.Run == "" || ev.Total != 4 || ev.Finished < 1 || ev.Finished > 4 {
+					t.Errorf("terminal run event malformed: %+v", ev)
+				}
+			case ev.Type == "heartbeat":
+				if ev.Total != 4 {
+					sawHeartbeatFields = false
+				}
+			}
+		default:
+			break drain
+		}
+	}
+	if started != 1 || finished != 1 {
+		t.Errorf("campaign events: %d started, %d finished, want 1/1", started, finished)
+	}
+	if running != 4 || doneRuns != 4 {
+		t.Errorf("run events: %d running, %d done, want 4/4", running, doneRuns)
+	}
+	if !sawHeartbeatFields {
+		t.Error("heartbeat events carried the wrong total")
+	}
+
+	// (b) Registry counters reconcile with the result.
+	snap := reg.Snapshot()
+	counter := func(name string) float64 {
+		for _, c := range snap.Counters {
+			if c.Name == name {
+				return c.Value
+			}
+		}
+		return -1
+	}
+	if got := counter(`campaign.runs{status="done"}`); got != 4 {
+		t.Errorf(`campaign.runs{status="done"} = %v, want 4`, got)
+	}
+	if got := counter("campaign.wal.appends"); got < 4 {
+		t.Errorf("campaign.wal.appends = %v, want >= 4", got)
+	}
+	var runNS *telemetry.HistValue
+	for i := range snap.Hists {
+		if snap.Hists[i].Name == "campaign.run_ns" {
+			runNS = &snap.Hists[i]
+		}
+	}
+	if runNS == nil || runNS.Count != 4 {
+		t.Fatalf("campaign.run_ns histogram = %+v, want 4 samples", runNS)
+	}
+
+	// (c) The flushed profile composes with the kernel profiles and
+	// answers a query-engine aggregation. Grouping by the marker key
+	// splits telemetry rows ("true") from kernel rows (MissingKey).
+	tk, ferrs, err := thicket.FromDirLenient(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ferrs) != 0 {
+		t.Fatalf("lenient load skipped files: %v", ferrs)
+	}
+	if tk.NumProfiles() != 5 {
+		t.Fatalf("composed %d profiles, want 4 kernel + 1 telemetry", tk.NumProfiles())
+	}
+
+	gs := tk.GroupStats(telemetry.MetadataKey, `telemetry.campaign.runs{status="done"}`)
+	teleStats := gs["true"]
+	if len(teleStats) != 1 {
+		t.Fatalf("telemetry group stats = %+v, want one node", gs)
+	}
+	if s := teleStats[0]; s.Node != telemetry.TelemetryNode || s.Count != 1 || s.Mean != 4 {
+		t.Errorf("telemetry row = %+v, want node %q mean 4", s, telemetry.TelemetryNode)
+	}
+	if kernelRows := gs[frame.MissingKey]; len(kernelRows) != 0 {
+		t.Errorf("kernel profiles carry telemetry columns: %+v", kernelRows)
+	}
+
+	// The run-latency summary rides the same profile: a mean between its
+	// own p-bounds and a count matching the campaign.
+	lat := tk.GroupStats(telemetry.MetadataKey, "telemetry.campaign.run_ns.count")
+	if rows := lat["true"]; len(rows) != 1 || rows[0].Mean != 4 {
+		t.Errorf("telemetry.campaign.run_ns.count rows = %+v, want mean 4", rows)
+	}
+
+	// Kernel analyses stay unpolluted: filtering the marker out leaves
+	// exactly the four kernel profiles answering their usual queries.
+	kernelTime := tk.Query().
+		Where(frame.MetaEq(telemetry.MetadataKey, frame.MissingKey)).
+		GroupBy("machine").Stats("time")
+	if len(kernelTime) != 2 {
+		t.Errorf("kernel-only groupby machine = %d groups, want 2", len(kernelTime))
+	}
+}
+
+// TestCampaignPoolDispatchTelemetry: an executing campaign with an
+// explicit worker request records pooled dispatches in the campaign
+// registry even on a single-CPU host — the per-run pool grows to the
+// requested width instead of clamping the request down to the derived
+// lane count (which would serialize every parallel region through the
+// workers<=1 bypass and leave raja.pool.dispatches at zero).
+func TestCampaignPoolDispatchTelemetry(t *testing.T) {
+	reg := &telemetry.Registry{}
+	plan := Plan{
+		Machines: []string{"Host"},
+		Variants: []string{"Base_OpenMP", "RAJA_OpenMP"},
+		Sizes:    []int{50_000},
+		Reps:     3,
+		Workers:  4,
+		Kernels:  []string{"Stream_TRIAD", "Stream_ADD"},
+		Execute:  true,
+	}
+	res, err := Run(context.Background(), plan, Options{
+		OutDir: t.TempDir(), Workers: 1, Metrics: reg, Campaign: "pool-tele",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Done != 2 {
+		t.Fatalf("campaign done = %d, want 2", res.Done)
+	}
+	snap := reg.Snapshot()
+	var dispatches float64 = -1
+	for _, c := range snap.Counters {
+		if c.Name == "raja.pool.dispatches" {
+			dispatches = c.Value
+		}
+	}
+	// 2 variants x 2 kernels x 3 reps = 12 parallel regions minimum
+	// (reduction kernels may dispatch more than once per rep).
+	if dispatches < 12 {
+		t.Errorf("raja.pool.dispatches = %v, want >= 12 pooled regions", dispatches)
+	}
+	for i := range snap.Hists {
+		if snap.Hists[i].Name == "raja.pool.dispatch_ns" && snap.Hists[i].Count < 1 {
+			t.Errorf("raja.pool.dispatch_ns sampled no dispatch latencies")
+		}
+	}
+}

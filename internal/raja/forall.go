@@ -98,6 +98,7 @@ func forallStatic(pool *Pool, workers int, r Range, body Body) {
 		return
 	}
 	pool.beats.Add(1)
+	pool.noteFallback()
 	spawnForallStatic(r, body, chunks, chunk, pool.activeInstr(), pool.activeTrace())
 }
 
@@ -130,6 +131,7 @@ func forallDynamic(pool *Pool, workers, block int, r Range, body Body) {
 		return
 	}
 	pool.beats.Add(1)
+	pool.noteFallback()
 	spawnForallDynamic(r, body, block, workers, pool.activeInstr(), pool.activeTrace())
 }
 
@@ -164,6 +166,7 @@ func forallGuided(pool *Pool, workers, minGrab int, r Range, body Body) {
 		return
 	}
 	pool.beats.Add(1)
+	pool.noteFallback()
 	spawnForallGuided(r, body, minGrab, workers, pool.activeInstr(), pool.activeTrace())
 }
 

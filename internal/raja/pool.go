@@ -91,6 +91,12 @@ type Pool struct {
 	instrOn atomic.Bool
 	trace   atomic.Pointer[LaneTrace]
 
+	// tele is the dispatch-level telemetry hook (see telemetry.go): nil
+	// until EnableTelemetry, read atomically once per dispatch. active
+	// tracks parallel regions in flight for the queue-depth gauge.
+	tele   atomic.Pointer[poolTele]
+	active atomic.Int64
+
 	// beats is the pool's liveness counter: it advances once per executed
 	// scheduling granule on the pooled dispatch paths and once per
 	// dispatch on the spawn fallbacks. Unlike the Instr service it is
@@ -224,6 +230,7 @@ func (p *Pool) acquire() bool {
 // the helpers, and releases the pool. Caller must have acquired the pool
 // and filled p.task for `lanes` participants.
 func (p *Pool) runAndWait(lanes int) {
+	tele, start := p.dispatchStart()
 	t := &p.task
 	t.pending.Store(int32(lanes - 1))
 	for w := 0; w < lanes-1; w++ {
@@ -236,6 +243,7 @@ func (p *Pool) runAndWait(lanes int) {
 	t.body, t.chunkFn, t.blockFn = nil, nil, nil
 	t.instr, t.trace = nil, nil
 	p.mu.Unlock()
+	p.dispatchEnd(tele, start)
 }
 
 // clampLanes bounds a requested lane count by the pool size.
@@ -317,6 +325,7 @@ func (p *Pool) StaticChunks(workers, n int, f func(w, lo, hi int)) int {
 	chunks := (n + chunk - 1) / chunk
 	if !p.staticChunks(chunks, chunk, n, f) {
 		p.beats.Add(1)
+		p.noteFallback()
 		spawnStaticChunks(chunks, chunk, n, f, p.activeInstr(), p.activeTrace())
 	}
 	return chunks
@@ -369,6 +378,7 @@ func (p *Pool) DynamicBlocks(workers, block, n int, f func(lo, hi int)) {
 	}
 	if !p.dynamicBlocks(block, n, workers, f) {
 		p.beats.Add(1)
+		p.noteFallback()
 		spawnDynamicBlocks(block, n, workers, f, p.activeInstr(), p.activeTrace())
 	}
 }

@@ -82,8 +82,9 @@ func (b *Breaker) Failure(key string, err error) bool {
 	if err != nil {
 		s.lastErr = err.Error()
 	}
-	if s.consecutive >= b.threshold {
+	if s.consecutive >= b.threshold && !s.open {
 		s.open = true
+		breakerOpened.Inc()
 	}
 	return s.open
 }

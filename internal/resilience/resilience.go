@@ -175,6 +175,7 @@ func (in *Injector) Fire(point string) bool {
 	}
 	if fire {
 		fp.fired.Add(1)
+		noteFault(point)
 	}
 	return fire
 }

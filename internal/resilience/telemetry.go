@@ -1,0 +1,23 @@
+package resilience
+
+// Resilience telemetry: breaker transitions, watchdog trips, and fault
+// injections, recorded into the process-wide registry. These layers are
+// constructed ad hoc (one watchdog per run attempt, one breaker per
+// campaign), so unlike the pool they do not carry per-instance registry
+// wiring — the events they count are rare and global by nature, and the
+// default registry is exactly the one the CLIs expose on /metrics.
+
+import "rajaperf/internal/telemetry"
+
+var (
+	breakerOpened    = telemetry.Default().Counter("resilience.breaker.opened")
+	watchdogTimeouts = telemetry.Default().Counter("resilience.watchdog.timeouts")
+	watchdogStalls   = telemetry.Default().Counter("resilience.watchdog.stalls")
+)
+
+// noteFault counts one fired injection by point name. Fires are rare
+// (that is the point of probability/count arming), so the labeled
+// registry lookup stays off any hot path.
+func noteFault(point string) {
+	telemetry.Default().Counter("resilience.faults.fired", "point", point).Inc()
+}

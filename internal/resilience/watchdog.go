@@ -93,12 +93,14 @@ func (w *Watchdog) run(cancel context.CancelCauseFunc, cfg WatchdogConfig, beat 
 		case <-w.stop:
 			return
 		case <-deadline:
+			watchdogTimeouts.Inc()
 			cancel(ErrRunTimeout)
 			return
 		case <-tick:
 			if b := beat(); b != last {
 				last, lastAdvance = b, time.Now()
 			} else if time.Since(lastAdvance) >= cfg.StallTimeout {
+				watchdogStalls.Inc()
 				cancel(ErrRunStalled)
 				return
 			}

@@ -141,6 +141,7 @@ func RunContext(ctx context.Context, cfg Config) (*caliper.Profile, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("suite: run canceled: %w", context.Cause(ctx))
 	}
+	teleRuns.Inc()
 	return r.finalize(), nil
 }
 
@@ -345,6 +346,7 @@ func (r *run) runKernel(ctx context.Context, k kernels.Kernel) error {
 	info := k.Info()
 	if !info.HasVariant(r.cfg.Variant) {
 		r.skipped++
+		teleKernelsSkipped.Inc()
 		return nil
 	}
 	name := info.FullName()
@@ -364,13 +366,17 @@ func (r *run) runKernel(ctx context.Context, k kernels.Kernel) error {
 	// wall time; modeled metrics are attached to the node after the
 	// region closes so End's wall-clock accumulation cannot contaminate
 	// the modeled "time" value.
+	kStart := time.Now()
 	r.rec.Begin(name)
 	ex, runErr := r.executeKernel(k, rp)
 	if err := r.rec.End(name); err != nil {
 		return err
 	}
+	teleKernelsRun.Inc()
+	teleKernelNS.Observe(time.Since(kStart).Nanoseconds())
 	if runErr != nil {
 		r.failed = append(r.failed, name+": "+runErr.Error())
+		teleKernelsFailed.Inc()
 		r.rec.SetMetricAt(path, "error", 1)
 		return nil
 	}

@@ -1,0 +1,22 @@
+package suite
+
+// Suite telemetry: run- and kernel-level counters into the process-wide
+// registry. The suite records every execution the same way regardless
+// of who drives it (CLI single run, campaign worker, analysis session),
+// so campaign-level rollups and single-run scrapes read one namespace:
+//
+//	suite.runs                 suite executions completed
+//	suite.kernels.run          kernels executed (variant implemented)
+//	suite.kernels.failed       kernels that errored or panicked
+//	suite.kernels.skipped      kernels skipped (variant not implemented)
+//	suite.kernel_ns            per-kernel wall time histogram
+
+import "rajaperf/internal/telemetry"
+
+var (
+	teleRuns           = telemetry.Default().Counter("suite.runs")
+	teleKernelsRun     = telemetry.Default().Counter("suite.kernels.run")
+	teleKernelsFailed  = telemetry.Default().Counter("suite.kernels.failed")
+	teleKernelsSkipped = telemetry.Default().Counter("suite.kernels.skipped")
+	teleKernelNS       = telemetry.Default().Histogram("suite.kernel_ns")
+)

@@ -1,0 +1,65 @@
+package telemetry
+
+// Boot is the shared CLI wiring for the telemetry plane: one call turns
+// the -metrics-addr / -telemetry-interval flag pair into a running
+// server and periodic profile flusher. It replaces the ad-hoc
+// `go http.ListenAndServe(pprofAddr, nil)` the rajaperf driver used to
+// start — the same address now serves /metrics, /debug/vars, /healthz,
+// /events, and /debug/pprof/* with a graceful shutdown.
+
+import (
+	"context"
+	"time"
+)
+
+// BootOptions configures Boot.
+type BootOptions struct {
+	// Addr serves the telemetry HTTP plane ("" = no server).
+	Addr string
+	// Bus is streamed on /events (nil = no event stream).
+	Bus *Bus
+	// FlushDir + FlushEvery enable the periodic snapshotter: registry
+	// deltas are written to FlushDir as telemetry_NNNN.cali.json profiles
+	// every FlushEvery (either zero = no flushing). A final flush runs at
+	// shutdown so the tail of activity is never lost.
+	FlushDir   string
+	FlushEvery time.Duration
+	// Meta is stamped on every flushed profile (campaign identity).
+	Meta map[string]any
+}
+
+// Boot starts the configured pieces against the default registry and
+// returns the running server (nil when Addr is empty) and a shutdown
+// function (never nil; always safe to defer). The listener is bound
+// synchronously: a nil error means /metrics is already answering.
+func Boot(opts BootOptions) (*Server, func(), error) {
+	var srv *Server
+	if opts.Addr != "" {
+		var err error
+		if srv, err = Serve(opts.Addr, ServerOptions{Bus: opts.Bus}); err != nil {
+			return nil, func() {}, err
+		}
+		L().Info("telemetry plane serving", "addr", srv.Addr())
+	}
+	var fl *Flusher
+	if opts.FlushEvery > 0 && opts.FlushDir != "" {
+		fl = NewFlusher(nil, opts.FlushDir, opts.FlushEvery, opts.Meta)
+		fl.SetLogger(L())
+		fl.Start()
+	}
+	shutdown := func() {
+		if fl != nil {
+			if err := fl.Stop(); err != nil {
+				L().Warn("telemetry final flush failed", "err", err)
+			} else if n := len(fl.Written()); n > 0 {
+				L().Info("telemetry profiles flushed", "count", n, "dir", opts.FlushDir)
+			}
+		}
+		if srv != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx) //nolint:errcheck // best-effort teardown
+		}
+	}
+	return srv, shutdown, nil
+}

@@ -1,0 +1,182 @@
+package telemetry
+
+// The campaign event bus: the source of truth for live progress. The
+// orchestrator publishes one Event per RunSpec status transition plus
+// periodic heartbeats; subscribers — the CLI's progress printer and
+// every connected /events SSE client — consume the same stream, so what
+// an operator sees over HTTP is exactly what the terminal shows.
+//
+// Publish never blocks: each subscriber owns a bounded buffer, and a
+// subscriber that falls behind drops the oldest events (counted, and
+// surfaced to it as a gap in sequence numbers) rather than stalling the
+// campaign. Events carry a bus-wide monotone sequence number assigned
+// under the bus lock, so any single subscriber observes strictly
+// increasing Seq values in publish order.
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one progress notification on the bus.
+type Event struct {
+	Seq  int64     `json:"seq"`
+	Time time.Time `json:"time"`
+	// Type is the event class: "run" (a RunSpec status transition),
+	// "heartbeat" (periodic campaign liveness), or "campaign"
+	// (campaign-level start/end).
+	Type string `json:"type"`
+
+	Campaign string  `json:"campaign,omitempty"` // campaign identity (output dir)
+	Run      string  `json:"run,omitempty"`      // RunSpec ID
+	Status   string  `json:"status,omitempty"`   // terminal status or phase
+	Err      string  `json:"error,omitempty"`
+	Elapsed  float64 `json:"elapsed_sec,omitempty"`
+	Attempts int     `json:"attempts,omitempty"`
+	Finished int     `json:"finished,omitempty"`
+	Total    int     `json:"total,omitempty"`
+	InFlight int     `json:"in_flight,omitempty"`
+}
+
+// Sub is one subscription: receive events from C until Close. If the
+// subscriber lags past its buffer, the oldest pending events are
+// dropped; Dropped reports how many.
+type Sub struct {
+	C chan Event
+
+	bus     *Bus
+	mu      sync.Mutex
+	closed  bool
+	dropped int64
+}
+
+// Dropped reports how many events this subscriber lost to backpressure.
+func (s *Sub) Dropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Close detaches the subscription and closes its channel.
+func (s *Sub) Close() {
+	s.bus.unsubscribe(s)
+}
+
+// Bus is a fan-out event bus. The zero value is ready; a nil *Bus
+// discards publishes, so layers emit unconditionally.
+type Bus struct {
+	mu     sync.Mutex
+	seq    int64
+	subs   map[*Sub]struct{}
+	recent []Event // ring of the last retainRecent events, for late joiners
+	pub    Counter // events published
+	drop   Counter // events dropped across all subscribers
+}
+
+// retainRecent bounds the replay window handed to new subscribers: an
+// SSE client that connects mid-campaign sees the recent transitions
+// without the bus retaining the whole history.
+const retainRecent = 256
+
+// Publish stamps ev with the next sequence number and fans it out.
+// Never blocks; slow subscribers drop their oldest buffered event.
+func (b *Bus) Publish(ev Event) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.seq++
+	ev.Seq = b.seq
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	if len(b.recent) < retainRecent {
+		b.recent = append(b.recent, ev)
+	} else {
+		copy(b.recent, b.recent[1:])
+		b.recent[len(b.recent)-1] = ev
+	}
+	subs := make([]*Sub, 0, len(b.subs))
+	for s := range b.subs {
+		subs = append(subs, s)
+	}
+	b.mu.Unlock()
+	b.pub.Inc()
+
+	for _, s := range subs {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			continue
+		}
+		for {
+			select {
+			case s.C <- ev:
+			default:
+				// Buffer full: drop the oldest pending event and retry.
+				select {
+				case <-s.C:
+					s.dropped++
+					b.drop.Inc()
+				default:
+				}
+				continue
+			}
+			break
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Subscribe attaches a subscription with the given buffer (min 1).
+// replay > 0 pre-fills the buffer with up to that many recent events
+// (ordered, deduplicated against nothing — the subscriber starts at
+// whatever suffix of history fits).
+func (b *Bus) Subscribe(buffer, replay int) *Sub {
+	if buffer < 1 {
+		buffer = 1
+	}
+	s := &Sub{C: make(chan Event, buffer), bus: b}
+	b.mu.Lock()
+	if b.subs == nil {
+		b.subs = map[*Sub]struct{}{}
+	}
+	if replay > 0 {
+		start := len(b.recent) - replay
+		if start < 0 {
+			start = 0
+		}
+		for _, ev := range b.recent[start:] {
+			if len(s.C) == cap(s.C) {
+				break
+			}
+			s.C <- ev
+		}
+	}
+	b.subs[s] = struct{}{}
+	b.mu.Unlock()
+	return s
+}
+
+func (b *Bus) unsubscribe(s *Sub) {
+	b.mu.Lock()
+	_, present := b.subs[s]
+	delete(b.subs, s)
+	b.mu.Unlock()
+	if !present {
+		return
+	}
+	s.mu.Lock()
+	s.closed = true
+	close(s.C)
+	s.mu.Unlock()
+}
+
+// Stats reports bus-level counters: events published and events dropped
+// across all subscribers.
+func (b *Bus) Stats() (published, dropped int64) {
+	if b == nil {
+		return 0, 0
+	}
+	return b.pub.Value(), b.drop.Value()
+}

@@ -1,0 +1,126 @@
+package telemetry
+
+// Exposition formats: Prometheus text (the /metrics scrape format) and
+// an expvar-style JSON snapshot (/debug/vars). Both render a Snapshot,
+// so a scrape never blocks a hot-path writer for longer than the
+// registry's read lock.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// promName sanitizes a dotted metric name into the Prometheus grammar:
+// the base name's non-[a-zA-Z0-9_] runes become '_', the label suffix
+// (already `{k="v"}`-shaped) passes through.
+func promName(name string) string {
+	base, labels := SplitName(name)
+	var b strings.Builder
+	b.Grow(len(base) + len(labels))
+	for i, r := range base {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	b.WriteString(labels)
+	return b.String()
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format (version 0.0.4). Counters and gauges emit one
+// sample each; histograms emit cumulative le-buckets, _sum (seconds,
+// interpreting the recorded values as nanoseconds is the caller's
+// convention — the raw unit is emitted as-is), and _count.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	typed := map[string]bool{}
+	emitType := func(name, kind string) {
+		base, _ := SplitName(name)
+		if !typed[base+kind] {
+			typed[base+kind] = true
+			fmt.Fprintf(w, "# TYPE %s %s\n", promName(base), kind)
+		}
+	}
+	for _, c := range s.Counters {
+		emitType(c.Name, "counter")
+		if _, err := fmt.Fprintf(w, "%s %v\n", promName(c.Name), c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		emitType(g.Name, "gauge")
+		if _, err := fmt.Fprintf(w, "%s %v\n", promName(g.Name), g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Hists {
+		emitType(h.Name, "histogram")
+		base, labels := SplitName(promName(h.Name))
+		// Cumulative buckets at each occupied bucket's upper bound.
+		idxs := make([]int, 0, len(h.Hist.Buckets))
+		for i := range h.Hist.Buckets {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		var cum int64
+		for _, i := range idxs {
+			cum += h.Hist.Buckets[i]
+			_, hi := bucketBounds(i)
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				base, promLabels(labels, "le", fmt.Sprintf("%d", hi)), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			base, promLabels(labels, "le", "+Inf"), h.Count); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s_sum%s %d\n", base, labels, h.Sum)
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", base, labels, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promLabels merges an extra label pair into an existing `{...}` suffix.
+func promLabels(labels, k, v string) string {
+	extra := fmt.Sprintf(`%s="%s"`, k, v)
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+// WriteVars renders the snapshot as one JSON object keyed by metric
+// name — the expvar-style /debug/vars view. Histograms render their
+// summary fields; map keys are the canonical (sorted-label) names, so
+// the document is deterministic for a given registry state.
+func WriteVars(w io.Writer, s Snapshot) error {
+	vars := make(map[string]any, len(s.Counters)+len(s.Gauges)+len(s.Hists))
+	for _, c := range s.Counters {
+		vars[c.Name] = c.Value
+	}
+	for _, g := range s.Gauges {
+		vars[g.Name] = g.Value
+	}
+	for _, h := range s.Hists {
+		vars[h.Name] = map[string]any{
+			"count": h.Count, "sum": h.Sum, "mean": h.Mean,
+			"p50": h.P50, "p90": h.P90, "p99": h.P99, "max": h.Max,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(map[string]any{
+		"taken":   s.Taken,
+		"metrics": vars,
+	})
+}

@@ -1,0 +1,202 @@
+package telemetry
+
+// Telemetry-as-profiles: the feedback loop the paper draws between
+// collection and analysis, applied to the suite's own runtime. A
+// Flusher periodically snapshots a Registry, subtracts the previous
+// snapshot, and writes the delta as an ordinary Caliper profile
+// (adiak-style metadata, `telemetry.*` metric columns on a "telemetry"
+// call-tree node) into the campaign output directory. The flushed
+// profiles ride the same .cali.json pipeline as kernel data: they load
+// through thicket.FromDirLenient, compose into the frame, and answer
+// query-engine aggregations — so "how did the campaign behave?" is the
+// same question, asked the same way, as "how did the kernels perform?".
+//
+// Schema. Each flush writes one profile:
+//
+//   - metadata: telemetry.profile=true, telemetry.flush=<ordinal>,
+//     telemetry.interval_sec, launchdate (RFC 3339), plus any
+//     caller-provided campaign identity keys;
+//   - one record with path ["telemetry"], whose metric columns are
+//     telemetry.<name> (counter deltas and gauge readings) and
+//     telemetry.<name>.{count,sum_ns,mean_ns,p50_ns,p90_ns,p99_ns,max_ns}
+//     (histogram interval summaries);
+//   - counters additionally emit telemetry.<name>.total, the cumulative
+//     value at flush time, so both rate and running-total analyses work
+//     without re-summing the series.
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"rajaperf/internal/adiak"
+	"rajaperf/internal/caliper"
+)
+
+// TelemetryNode is the call-tree node name telemetry records live on.
+const TelemetryNode = "telemetry"
+
+// MetadataKey marks a profile as a telemetry profile (metadata value
+// true); analyses that want kernel rows only can filter it out with a
+// metadata predicate.
+const MetadataKey = "telemetry.profile"
+
+// SnapshotProfile renders a (delta) snapshot as a Caliper profile. meta
+// is merged into the standard telemetry metadata (caller keys win on
+// conflict, except the reserved telemetry.* keys).
+func SnapshotProfile(s Snapshot, flush int, interval time.Duration, meta map[string]any) *caliper.Profile {
+	md := adiak.Metadata{}
+	for k, v := range meta {
+		md[k] = v
+	}
+	md[MetadataKey] = true
+	md["telemetry.flush"] = flush
+	md["telemetry.interval_sec"] = interval.Seconds()
+	md["launchdate"] = adiak.Timestamp()
+
+	metrics := map[string]float64{}
+	for _, c := range s.Counters {
+		metrics["telemetry."+c.Name] = c.Value
+	}
+	for _, g := range s.Gauges {
+		metrics["telemetry."+g.Name] = g.Value
+	}
+	for _, h := range s.Hists {
+		base := "telemetry." + h.Name
+		metrics[base+".count"] = float64(h.Count)
+		metrics[base+".sum_ns"] = float64(h.Sum)
+		metrics[base+".mean_ns"] = h.Mean
+		metrics[base+".p50_ns"] = float64(h.P50)
+		metrics[base+".p90_ns"] = float64(h.P90)
+		metrics[base+".p99_ns"] = float64(h.P99)
+		metrics[base+".max_ns"] = float64(h.Max)
+	}
+	return &caliper.Profile{
+		Metadata: md,
+		Records:  []caliper.Record{{Path: []string{TelemetryNode}, Metrics: metrics}},
+	}
+}
+
+// Flusher periodically flushes registry deltas into a directory as
+// telemetry profiles. Create with NewFlusher, start the period with
+// Start, and Stop to perform the final flush.
+type Flusher struct {
+	reg      *Registry
+	dir      string
+	interval time.Duration
+	meta     map[string]any
+	log      *Logger
+
+	mu    sync.Mutex
+	prev  Snapshot
+	seq   int
+	wrote []string
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewFlusher returns a flusher writing delta profiles of reg (nil =
+// Default()) into dir. meta keys (campaign identity) are stamped on
+// every flushed profile. The cumulative baseline starts at the current
+// registry state, so the first flush records activity from now on.
+func NewFlusher(reg *Registry, dir string, interval time.Duration, meta map[string]any) *Flusher {
+	if reg == nil {
+		reg = Default()
+	}
+	return &Flusher{
+		reg: reg, dir: dir, interval: interval, meta: meta,
+		prev: reg.Snapshot(),
+	}
+}
+
+// SetLogger routes flush failures to l (default: silent).
+func (f *Flusher) SetLogger(l *Logger) { f.log = l }
+
+// Flush snapshots the registry, writes the delta since the previous
+// flush as one telemetry profile, and advances the baseline. Returns
+// the written path ("" when the delta is empty and nothing was
+// written — idle intervals do not litter the campaign directory).
+func (f *Flusher) Flush() (string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cur := f.reg.Snapshot()
+	delta := cur.Sub(f.prev)
+	if !deltaActive(delta) {
+		return "", nil
+	}
+	f.seq++
+	p := SnapshotProfile(delta, f.seq, f.interval, f.meta)
+	path := filepath.Join(f.dir, fmt.Sprintf("telemetry_%04d%s", f.seq, caliper.FileExt))
+	if err := p.WriteFile(path); err != nil {
+		f.seq-- // the ordinal was not used
+		return "", err
+	}
+	f.prev = cur
+	f.wrote = append(f.wrote, path)
+	return path, nil
+}
+
+// deltaActive reports whether the delta carries any recorded activity.
+func deltaActive(s Snapshot) bool {
+	for _, c := range s.Counters {
+		if c.Value != 0 {
+			return true
+		}
+	}
+	for _, h := range s.Hists {
+		if h.Count != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Written returns the paths flushed so far.
+func (f *Flusher) Written() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.wrote...)
+}
+
+// Start begins periodic flushing (no-op when interval <= 0; Stop still
+// performs the final flush).
+func (f *Flusher) Start() {
+	if f.interval <= 0 || f.stop != nil {
+		return
+	}
+	f.stop = make(chan struct{})
+	f.done = make(chan struct{})
+	go func() {
+		defer close(f.done)
+		t := time.NewTicker(f.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-f.stop:
+				return
+			case <-t.C:
+				if _, err := f.Flush(); err != nil {
+					f.log.Warn("telemetry flush failed", "err", err)
+				}
+			}
+		}
+	}()
+}
+
+// Stop ends periodic flushing and performs a final flush, so the tail
+// of activity since the last tick is never lost. Safe to call without
+// Start, and idempotent.
+func (f *Flusher) Stop() error {
+	if f.stop != nil {
+		select {
+		case <-f.stop:
+		default:
+			close(f.stop)
+			<-f.done
+		}
+	}
+	_, err := f.Flush()
+	return err
+}

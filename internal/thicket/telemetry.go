@@ -1,0 +1,43 @@
+package thicket
+
+// Thicket telemetry: compose latency and the query-cache bridge. The
+// frame package stays dependency-free, so its engine cache counters are
+// exposed from here — the layer that owns the process-wide engine — as
+// callback gauges evaluated at snapshot time:
+//
+//	thicket.compose_ns                    ingest/compose latency histogram
+//	thicket.profiles_composed             profiles folded into frames
+//	thicket.query_cache.{hits,misses,evictions,entries}
+
+import (
+	"time"
+
+	"rajaperf/internal/telemetry"
+)
+
+var (
+	composeNS        = telemetry.Default().Histogram("thicket.compose_ns")
+	profilesComposed = telemetry.Default().Counter("thicket.profiles_composed")
+)
+
+func init() {
+	reg := telemetry.Default()
+	reg.GaugeFunc("thicket.query_cache.hits", func() float64 {
+		return float64(eng.CacheStats().Hits)
+	})
+	reg.GaugeFunc("thicket.query_cache.misses", func() float64 {
+		return float64(eng.CacheStats().Misses)
+	})
+	reg.GaugeFunc("thicket.query_cache.evictions", func() float64 {
+		return float64(eng.CacheStats().Evictions)
+	})
+	reg.GaugeFunc("thicket.query_cache.entries", func() float64 {
+		return float64(eng.CacheStats().Entries)
+	})
+}
+
+// observeCompose records one compose operation folding n profiles.
+func observeCompose(start time.Time, n int) {
+	composeNS.Observe(time.Since(start).Nanoseconds())
+	profilesComposed.Add(int64(n))
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"time"
 
 	"rajaperf/internal/caliper"
 	"rajaperf/internal/frame"
@@ -59,6 +60,7 @@ const ingestShardThreshold = 64
 // profile sets are ingested in parallel: contiguous shards build private
 // frames that merge column-major, preserving sequential row order.
 func FromProfiles(ps []*caliper.Profile) *Thicket {
+	defer observeCompose(time.Now(), len(ps))
 	workers := runtime.GOMAXPROCS(0)
 	if len(ps) < ingestShardThreshold || workers < 2 {
 		b := frame.NewBuilder()
@@ -107,6 +109,7 @@ func totalRecords(ps []*caliper.Profile) int {
 // frame builder one at a time in sorted-path order, so the full []Profile
 // set is never materialized.
 func FromDir(dir string) (*Thicket, error) {
+	start := time.Now()
 	b := frame.NewBuilder()
 	n := 0
 	err := caliper.WalkDir(dir, func(path string, p *caliper.Profile) error {
@@ -120,6 +123,7 @@ func FromDir(dir string) (*Thicket, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("thicket: no profiles found in %s", dir)
 	}
+	defer observeCompose(start, n)
 	return fromFrame(b.Finish()), nil
 }
 
@@ -130,6 +134,7 @@ func FromDir(dir string) (*Thicket, error) {
 // partial files: analysis proceeds on what is readable, and the caller
 // reports what was not. It still fails when nothing at all is readable.
 func FromDirLenient(dir string) (*Thicket, []caliper.FileError, error) {
+	start := time.Now()
 	b := frame.NewBuilder()
 	n := 0
 	ferrs, err := caliper.WalkDirLenient(dir, func(path string, p *caliper.Profile) error {
@@ -146,6 +151,7 @@ func FromDirLenient(dir string) (*Thicket, []caliper.FileError, error) {
 		}
 		return nil, nil, fmt.Errorf("thicket: no profiles found in %s", dir)
 	}
+	defer observeCompose(start, n)
 	return fromFrame(b.Finish()), ferrs, nil
 }
 
@@ -180,6 +186,7 @@ func (c *Composer) Add(p *caliper.Profile) {
 	for i := range p.Records {
 		c.inc.AddRow(p.Records[i].Path, p.Records[i].Metrics)
 	}
+	profilesComposed.Inc()
 }
 
 // NumProfiles returns the number of profiles added so far.
@@ -190,7 +197,10 @@ func (c *Composer) NumProfiles() int { return c.inc.NumProfiles() }
 // snapshot re-hits the engine's cached query results of any equally
 // composed thicket, and appending invalidates nothing but reachability —
 // stale entries simply age out of the LRU.
-func (c *Composer) Snapshot() *Thicket { return fromFrame(c.inc.Snapshot()) }
+func (c *Composer) Snapshot() *Thicket {
+	defer observeCompose(time.Now(), 0)
+	return fromFrame(c.inc.Snapshot())
+}
 
 // NumProfiles returns the number of composed runs.
 func (t *Thicket) NumProfiles() int { return t.f.NumProfiles() }
@@ -303,6 +313,7 @@ func (t *Thicket) MetricNames() []string {
 // paper's cross-run composition step. Metric cells move as dense
 // column-major copies; no per-row metric maps are rebuilt.
 func Concat(ts ...*Thicket) *Thicket {
+	defer observeCompose(time.Now(), 0)
 	parts := make([]frame.Part, len(ts))
 	for i, t := range ts {
 		parts[i] = frame.Part{F: t.f, Sel: t.sel}
