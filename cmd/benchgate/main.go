@@ -1,8 +1,13 @@
-// Command benchgate is the CI regression gate for the query engine. It
-// parses `go test -bench` output containing the thicket sweep
-// benchmarks, computes the engine-vs-legacy speedup ratio, compares it
-// against the checked-in baseline, and emits a machine-readable
-// BENCH_query.json record.
+// Command benchgate is the CI regression gate for the query engine and
+// the portability study. It parses `go test -bench` output, computes
+// ratio-based health numbers, compares them against a checked-in
+// baseline, and emits a machine-readable record.
+//
+// The default mode gates the thicket sweep benchmarks (engine-vs-legacy
+// speedup, BENCH_query.json). With -portability it instead gates the
+// BenchmarkPortability results: per kernel, the RAJA_Seq-vs-Base_Seq
+// wall-time ratio through monomorphized dispatch must not regress more
+// than the baseline tolerance (BENCH_portability.json).
 //
 // The gate is ratio-based on purpose: BenchmarkGroupStatsSweep (the
 // vectorized engine) and BenchmarkGroupStatsSweepLegacy (the preserved
@@ -58,7 +63,10 @@ type Report struct {
 // benchLine matches one `go test -bench` result row, e.g.
 //
 //	BenchmarkGroupStatsSweep-8   1000   2888039 ns/op   433618 B/op ...
-var benchLine = regexp.MustCompile(`^(Benchmark\w+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+//
+// Sub-benchmark names keep their slash-separated path, e.g.
+// BenchmarkPortability/Stream_TRIAD/RAJA_Seq_mono-1.
+var benchLine = regexp.MustCompile(`^(Benchmark[\w/]+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
 
 // parseBench extracts min ns/op per benchmark name from -bench output.
 func parseBench(r io.Reader) (map[string]float64, error) {
@@ -115,6 +123,119 @@ func gate(results map[string]float64, bl Baseline) Report {
 	return rep
 }
 
+// PortBaseline is the checked-in portability acceptance floor: the
+// recorded RAJA_Seq/Base_Seq wall-time ratio per rewired kernel, under
+// monomorphized and closure dispatch, plus the regression allowance.
+type PortBaseline struct {
+	// TolerancePct is how far above its recorded mono ratio a kernel may
+	// land before the gate fails (default guard: 10%).
+	TolerancePct float64 `json:"tolerance_pct"`
+	// Kernels maps full kernel names to their recorded ratios.
+	Kernels map[string]PortKernelBaseline `json:"kernels"`
+}
+
+// PortKernelBaseline is one kernel's recorded portability ratios.
+type PortKernelBaseline struct {
+	MonoRatio    float64 `json:"mono_ratio"`
+	ClosureRatio float64 `json:"closure_ratio"`
+}
+
+// PortKernelReport is one kernel's measured portability numbers.
+type PortKernelReport struct {
+	BaseNs       float64 `json:"base_seq_ns"`
+	ClosureNs    float64 `json:"raja_seq_closure_ns"`
+	MonoNs       float64 `json:"raja_seq_mono_ns"`
+	ClosureRatio float64 `json:"closure_ratio"`
+	MonoRatio    float64 `json:"mono_ratio"`
+}
+
+// PortReport is the BENCH_portability.json payload.
+type PortReport struct {
+	Kernels  map[string]PortKernelReport `json:"kernels"`
+	Baseline PortBaseline                `json:"baseline"`
+	Pass     bool                        `json:"pass"`
+	Failures []string                    `json:"failures,omitempty"`
+}
+
+// gatePortability builds the portability report. The gate is ratio-based
+// for the same reason the query gate is: RAJA and Base run in the same
+// process on the same arrays, so their ratio cancels host speed; only a
+// genuine abstraction-overhead regression moves it.
+func gatePortability(results map[string]float64, bl PortBaseline) PortReport {
+	rep := PortReport{Kernels: map[string]PortKernelReport{}, Baseline: bl}
+	for name, kb := range bl.Kernels {
+		prefix := "BenchmarkPortability/" + name + "/"
+		base, okB := results[prefix+"Base_Seq"]
+		closure, okC := results[prefix+"RAJA_Seq_closure"]
+		mono, okM := results[prefix+"RAJA_Seq_mono"]
+		if !okB || !okC || !okM {
+			rep.Failures = append(rep.Failures, fmt.Sprintf(
+				"%s: missing benchmark rows (base=%v closure=%v mono=%v)", name, okB, okC, okM))
+			continue
+		}
+		kr := PortKernelReport{
+			BaseNs:       base,
+			ClosureNs:    closure,
+			MonoNs:       mono,
+			ClosureRatio: closure / base,
+			MonoRatio:    mono / base,
+		}
+		rep.Kernels[name] = kr
+		ceil := kb.MonoRatio * (1 + bl.TolerancePct/100)
+		if kr.MonoRatio > ceil {
+			rep.Failures = append(rep.Failures, fmt.Sprintf(
+				"%s: mono RAJA/Base ratio %.2fx exceeds the gate ceiling %.2fx (baseline %.2fx + %.0f%% tolerance)",
+				name, kr.MonoRatio, ceil, kb.MonoRatio, bl.TolerancePct))
+		}
+	}
+	rep.Pass = len(rep.Failures) == 0
+	return rep
+}
+
+// runPortability is the -portability entry point: parse, gate, report.
+func runPortability(in io.Reader, baselinePath, outPath string, stdout, stderr io.Writer) int {
+	blBytes, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchgate: %v\n", err)
+		return 2
+	}
+	var bl PortBaseline
+	if err := json.Unmarshal(blBytes, &bl); err != nil {
+		fmt.Fprintf(stderr, "benchgate: baseline %s: %v\n", baselinePath, err)
+		return 2
+	}
+	results, err := parseBench(in)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchgate: %v\n", err)
+		return 2
+	}
+	rep := gatePortability(results, bl)
+	repBytes, _ := json.MarshalIndent(rep, "", "  ")
+	repBytes = append(repBytes, '\n')
+	if outPath != "" {
+		if err := os.WriteFile(outPath, repBytes, 0o644); err != nil {
+			fmt.Fprintf(stderr, "benchgate: %v\n", err)
+			return 2
+		}
+	}
+	stdout.Write(repBytes)
+	if !rep.Pass {
+		for _, f := range rep.Failures {
+			fmt.Fprintf(stderr, "benchgate: FAIL: %s\n", f)
+		}
+		return 1
+	}
+	worst := 0.0
+	for _, kr := range rep.Kernels {
+		if kr.MonoRatio > worst {
+			worst = kr.MonoRatio
+		}
+	}
+	fmt.Fprintf(stderr, "benchgate: PASS: %d kernels gated, worst mono RAJA/Base ratio %.2fx\n",
+		len(rep.Kernels), worst)
+	return 0
+}
+
 func run(in io.Reader, baselinePath, outPath string, stdout, stderr io.Writer) int {
 	blBytes, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -153,10 +274,34 @@ func run(in io.Reader, baselinePath, outPath string, stdout, stderr io.Writer) i
 }
 
 func main() {
-	baseline := flag.String("baseline", "internal/thicket/testdata/bench_baseline.json",
-		"path to the checked-in baseline JSON")
-	out := flag.String("out", "BENCH_query.json", "path to write the report JSON ('' = stdout only)")
+	portability := flag.Bool("portability", false,
+		"gate BenchmarkPortability results (RAJA-vs-Base ratios) instead of the query sweep")
+	baseline := flag.String("baseline", "",
+		"path to the checked-in baseline JSON (default depends on mode)")
+	out := flag.String("out", "", "path to write the report JSON (default depends on mode; '' after explicit set = stdout only)")
 	flag.Parse()
+
+	blPath, outPath := *baseline, *out
+	outSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "out" {
+			outSet = true
+		}
+	})
+	if blPath == "" {
+		if *portability {
+			blPath = "testdata/portability_baseline.json"
+		} else {
+			blPath = "internal/thicket/testdata/bench_baseline.json"
+		}
+	}
+	if outPath == "" && !outSet {
+		if *portability {
+			outPath = "BENCH_portability.json"
+		} else {
+			outPath = "BENCH_query.json"
+		}
+	}
 
 	in := io.Reader(os.Stdin)
 	if flag.NArg() > 0 {
@@ -168,5 +313,8 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	os.Exit(run(in, *baseline, *out, os.Stdout, os.Stderr))
+	if *portability {
+		os.Exit(runPortability(in, blPath, outPath, os.Stdout, os.Stderr))
+	}
+	os.Exit(run(in, blPath, outPath, os.Stdout, os.Stderr))
 }

@@ -120,3 +120,105 @@ func TestRunFailsOnBadBaselinePath(t *testing.T) {
 		t.Fatalf("exit %d", code)
 	}
 }
+
+const samplePortBench = `goos: linux
+pkg: rajaperf
+BenchmarkPortability/Stream_TRIAD/Base_Seq-1         	     200	   2000000 ns/op	11000 MB/s
+BenchmarkPortability/Stream_TRIAD/Base_Seq-1         	     200	   2100000 ns/op	11000 MB/s
+BenchmarkPortability/Stream_TRIAD/RAJA_Seq_closure-1 	     200	   3600000 ns/op	 7000 MB/s
+BenchmarkPortability/Stream_TRIAD/RAJA_Seq_mono-1    	     200	   2200000 ns/op	10000 MB/s
+BenchmarkPortability/Stream_DOT/Base_Seq             	     200	   1000000 ns/op	16000 MB/s
+BenchmarkPortability/Stream_DOT/RAJA_Seq_closure     	     200	   3900000 ns/op	 5000 MB/s
+BenchmarkPortability/Stream_DOT/RAJA_Seq_mono        	     200	    950000 ns/op	21000 MB/s
+PASS
+ok  	rajaperf	29.8s
+`
+
+func TestParseBenchKeepsSubBenchmarkPaths(t *testing.T) {
+	got, err := parseBench(strings.NewReader(samplePortBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkPortability/Stream_TRIAD/Base_Seq"] != 2000000 {
+		t.Fatalf("min Base_Seq = %v", got["BenchmarkPortability/Stream_TRIAD/Base_Seq"])
+	}
+	if got["BenchmarkPortability/Stream_DOT/RAJA_Seq_mono"] != 950000 {
+		t.Fatalf("mono = %v", got["BenchmarkPortability/Stream_DOT/RAJA_Seq_mono"])
+	}
+}
+
+func portBaseline() PortBaseline {
+	return PortBaseline{
+		TolerancePct: 10,
+		Kernels: map[string]PortKernelBaseline{
+			"Stream_TRIAD": {MonoRatio: 1.05, ClosureRatio: 1.7},
+			"Stream_DOT":   {MonoRatio: 1.00, ClosureRatio: 3.9},
+		},
+	}
+}
+
+func TestGatePortabilityPasses(t *testing.T) {
+	results, err := parseBench(strings.NewReader(samplePortBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := gatePortability(results, portBaseline())
+	if !rep.Pass {
+		t.Fatalf("expected pass, failures: %v", rep.Failures)
+	}
+	triad := rep.Kernels["Stream_TRIAD"]
+	if triad.MonoRatio < 1.09 || triad.MonoRatio > 1.11 {
+		t.Fatalf("TRIAD mono ratio = %v, want 1.10", triad.MonoRatio)
+	}
+	if triad.ClosureRatio < 1.79 || triad.ClosureRatio > 1.81 {
+		t.Fatalf("TRIAD closure ratio = %v, want 1.80", triad.ClosureRatio)
+	}
+}
+
+func TestGatePortabilityFailsOnRatioRegression(t *testing.T) {
+	results, err := parseBench(strings.NewReader(samplePortBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl := portBaseline()
+	bl.Kernels["Stream_TRIAD"] = PortKernelBaseline{MonoRatio: 0.90, ClosureRatio: 1.7}
+	// measured 1.10 > 0.90 * 1.10 = 0.99 ceiling
+	rep := gatePortability(results, bl)
+	if rep.Pass || len(rep.Failures) != 1 {
+		t.Fatalf("expected one failure, got pass=%v failures=%v", rep.Pass, rep.Failures)
+	}
+}
+
+func TestGatePortabilityFailsOnMissingKernel(t *testing.T) {
+	bl := portBaseline()
+	rep := gatePortability(map[string]float64{}, bl)
+	if rep.Pass || len(rep.Failures) != 2 {
+		t.Fatalf("expected two missing-kernel failures, got pass=%v failures=%v", rep.Pass, rep.Failures)
+	}
+}
+
+func TestRunPortabilityEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	blPath := filepath.Join(dir, "portability_baseline.json")
+	outPath := filepath.Join(dir, "BENCH_portability.json")
+	blBytes, _ := json.Marshal(portBaseline())
+	if err := os.WriteFile(blPath, blBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr strings.Builder
+	code := runPortability(strings.NewReader(samplePortBench), blPath, outPath, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep PortReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass || len(rep.Kernels) != 2 {
+		t.Fatalf("report: %+v", rep)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -56,6 +57,7 @@ func realMain() int {
 		reps     = flag.Int("reps", 0, "kernel repetitions (0 = kernel defaults)")
 		workers  = flag.Int("workers", 0, "execution workers (0 = all cores)")
 		schedule = flag.String("schedule", "default", "parallel loop schedule: default, static, dynamic, guided")
+		dispatch = flag.String("dispatch", "mono", "RAJA dispatch for rewired kernels: mono (generic, monomorphized) or closure (classic per-index)")
 		kerns    = flag.String("kernels", "", "comma-separated kernel names (empty = whole suite)")
 		group    = flag.String("group", "", "run only one group (Algorithm, Apps, Basic, Comm, Lcals, Polybench, Stream)")
 		feature  = flag.String("feature", "", "run only kernels exercising a RAJA feature (Sort, Scan, Reduction, Atomic, View, Workgroup, MPI)")
@@ -89,7 +91,7 @@ func realMain() int {
 		breaker     = flag.Int("breaker", 0, "open a (kernel set, variant) circuit after this many consecutive non-transient failures, skipping its remaining specs (0 = off)")
 		traceOut    = flag.String("trace", "", "write a Chrome-trace JSON event trace to this path (enables the trace service)")
 		cpuprof     = flag.String("pprof", "", "write a CPU profile of the run to this path")
-		pprofSrv    = flag.String("pprof-http", "", "deprecated alias for -metrics-addr")
+		pprofSrv    = flag.String("pprof-http", "", "deprecated alias for -metrics-addr (one release of compatibility; prints a warning)")
 
 		// Telemetry plane: live HTTP exposition plus periodic flushing of
 		// registry deltas into the output directory as telemetry profiles.
@@ -111,6 +113,11 @@ func realMain() int {
 	sched, ok := raja.ParseSchedule(*schedule)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "rajaperf: unknown schedule %q\n", *schedule)
+		return 2
+	}
+	disp, err := kernels.ParseDispatch(*dispatch)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rajaperf:", err)
 		return 2
 	}
 
@@ -151,7 +158,7 @@ func realMain() int {
 	raja.Default().EnableTelemetry(nil)
 	bus := new(telemetry.Bus)
 	_, teleStop, err := telemetry.Boot(telemetry.BootOptions{
-		Addr:       orDefault(*metricsAddr, *pprofSrv),
+		Addr:       resolveMetricsAddr(*metricsAddr, *pprofSrv, os.Stderr),
 		Bus:        bus,
 		FlushDir:   *outdir,
 		FlushEvery: *teleInterval,
@@ -213,7 +220,7 @@ func realMain() int {
 	}
 
 	if err := run(*machName, *variant, *block, *size, *reps, *workers,
-		sched, svc, *traceOut, *kerns, *group, *feature, *execute, *outdir, inj); err != nil {
+		sched, disp, svc, *traceOut, *kerns, *group, *feature, *execute, *outdir, inj); err != nil {
 		fmt.Fprintln(os.Stderr, "rajaperf:", err)
 		return 1
 	}
@@ -371,6 +378,20 @@ func watchProgress(bus *telemetry.Bus, log *telemetry.Logger) func() {
 	}
 }
 
+// resolveMetricsAddr returns the telemetry listen address, honoring the
+// deprecated -pprof-http flag as a one-release compatibility alias for
+// -metrics-addr. Using the alias warns on w; when both are set,
+// -metrics-addr wins silently.
+func resolveMetricsAddr(metricsAddr, pprofHTTP string, w io.Writer) string {
+	if metricsAddr != "" {
+		return metricsAddr
+	}
+	if pprofHTTP != "" {
+		fmt.Fprintln(w, "rajaperf: -pprof-http is deprecated and will be removed in the next release; use -metrics-addr")
+	}
+	return pprofHTTP
+}
+
 // orDefault returns s, or def when s is empty.
 func orDefault(s, def string) string {
 	if s == "" {
@@ -427,9 +448,9 @@ func runReport(kerns string, size, reps, workers int, sched raja.Schedule) error
 }
 
 func run(machName, variant string, block, size, reps, workers int,
-	sched raja.Schedule, svc caliper.Services, traceOut string,
-	kerns, group, feature string, execute bool, outdir string,
-	inj *resilience.Injector) error {
+	sched raja.Schedule, disp kernels.DispatchMode, svc caliper.Services,
+	traceOut string, kerns, group, feature string, execute bool,
+	outdir string, inj *resilience.Injector) error {
 
 	m, err := machine.ByName(machName)
 	if err != nil {
@@ -495,6 +516,7 @@ func run(machName, variant string, block, size, reps, workers int,
 		Kernels:     names,
 		Execute:     execute,
 		Schedule:    sched,
+		Dispatch:    disp,
 		Services:    svc,
 		Tracer:      tracer,
 		Faults:      inj,

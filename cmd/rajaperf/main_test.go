@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"rajaperf/internal/kernels"
+)
+
+func TestResolveMetricsAddr(t *testing.T) {
+	t.Run("metrics-addr wins", func(t *testing.T) {
+		var w strings.Builder
+		got := resolveMetricsAddr("localhost:6060", "localhost:7070", &w)
+		if got != "localhost:6060" {
+			t.Fatalf("got %q, want -metrics-addr value", got)
+		}
+		if w.Len() != 0 {
+			t.Fatalf("unexpected warning when -metrics-addr set: %q", w.String())
+		}
+	})
+	t.Run("pprof-http aliases with warning", func(t *testing.T) {
+		var w strings.Builder
+		got := resolveMetricsAddr("", "localhost:7070", &w)
+		if got != "localhost:7070" {
+			t.Fatalf("got %q, want alias value", got)
+		}
+		if !strings.Contains(w.String(), "deprecated") {
+			t.Fatalf("alias use must warn, got %q", w.String())
+		}
+	})
+	t.Run("both empty", func(t *testing.T) {
+		var w strings.Builder
+		if got := resolveMetricsAddr("", "", &w); got != "" {
+			t.Fatalf("got %q, want empty", got)
+		}
+		if w.Len() != 0 {
+			t.Fatalf("unexpected warning: %q", w.String())
+		}
+	})
+}
+
+func TestParseDispatchFlag(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    kernels.DispatchMode
+		wantErr bool
+	}{
+		{"mono", kernels.DispatchMono, false},
+		{"", kernels.DispatchMono, false},
+		{"closure", kernels.DispatchClosure, false},
+		{"bogus", 0, true},
+	}
+	for _, c := range cases {
+		got, err := kernels.ParseDispatch(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseDispatch(%q): want error", c.in)
+			}
+			continue
+		}
+		if err != nil || got != c.want {
+			t.Errorf("ParseDispatch(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package algorithms
+
+import "rajaperf/internal/raja"
+
+// Monomorphized loop bodies for the Algorithms family, passed by value
+// through the generic dispatch entry points.
+
+// memcpySpan is MEMCPY's body: dst[i] = src[i] via the runtime copy.
+type memcpySpan struct {
+	src, dst []float64
+}
+
+func (s memcpySpan) Span(_ raja.Ctx, lo, hi int) {
+	raja.CopySpan(s.dst, s.src, lo, hi)
+}
+
+// memsetSpan is MEMSET's body: x[i] = val.
+type memsetSpan struct {
+	x   []float64
+	val float64
+}
+
+func (s memsetSpan) Span(_ raja.Ctx, lo, hi int) {
+	raja.FillSpan(s.x, s.val, lo, hi)
+}
+
+// sumReduce is REDUCE_SUM's fused reduction body.
+type sumReduce struct {
+	x []float64
+}
+
+func (r sumReduce) Init() float64                { return 0 }
+func (r sumReduce) Partial(lo, hi int) float64   { return raja.SumSpan(r.x, lo, hi) }
+func (r sumReduce) Combine(a, b float64) float64 { return a + b }
+
+// scanStore is SCAN's fused exclusive-scan body over x into y.
+type scanStore struct {
+	x, y []float64
+}
+
+func (s scanStore) ScanElem(i int) float64     { return s.x[i] }
+func (s scanStore) ScanStore(i int, v float64) { s.y[i] = v }

@@ -26,6 +26,7 @@ func NewMemcpy() kernels.Kernel {
 		DefaultSize: defaultSize,
 		DefaultReps: defaultReps,
 		Variants:    kernels.AllVariants,
+		Mono:        true,
 	})}
 }
 
@@ -48,11 +49,13 @@ func (k *Memcpy) SetUp(rp kernels.RunParams) {
 func (k *Memcpy) Run(v kernels.VariantID, rp kernels.RunParams) error {
 	src, dst := k.src, k.dst
 	body := func(i int) { dst[i] = src[i] }
+	span := memcpySpan{src: src, dst: dst}
 	for r := 0; r < rp.EffectiveReps(k.Info()); r++ {
-		err := kernels.RunVariant(v, rp, k.n,
+		err := kernels.RunVariantG(v, rp, k.n,
 			func(lo, hi int) { copy(dst[lo:hi], src[lo:hi]) },
 			body,
-			func(_ raja.Ctx, i int) { dst[i] = src[i] })
+			func(_ raja.Ctx, i int) { dst[i] = src[i] },
+			span)
 		if err != nil {
 			return k.Unsupported(v)
 		}

@@ -24,6 +24,7 @@ func NewMemset() kernels.Kernel {
 		DefaultSize: defaultSize,
 		DefaultReps: defaultReps,
 		Variants:    kernels.AllVariants,
+		Mono:        true,
 	})}
 }
 
@@ -45,8 +46,9 @@ func (k *Memset) SetUp(rp kernels.RunParams) {
 func (k *Memset) Run(v kernels.VariantID, rp kernels.RunParams) error {
 	x, val := k.x, k.val
 	body := func(i int) { x[i] = val }
+	span := memsetSpan{x: x, val: val}
 	for r := 0; r < rp.EffectiveReps(k.Info()); r++ {
-		err := kernels.RunVariant(v, rp, k.n,
+		err := kernels.RunVariantG(v, rp, k.n,
 			func(lo, hi int) {
 				s := x[lo:hi]
 				for i := range s {
@@ -54,7 +56,8 @@ func (k *Memset) Run(v kernels.VariantID, rp kernels.RunParams) error {
 				}
 			},
 			body,
-			func(_ raja.Ctx, i int) { x[i] = val })
+			func(_ raja.Ctx, i int) { x[i] = val },
+			span)
 		if err != nil {
 			return k.Unsupported(v)
 		}

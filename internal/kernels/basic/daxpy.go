@@ -24,6 +24,7 @@ func NewDaxpy() kernels.Kernel {
 		DefaultSize: defaultSize,
 		DefaultReps: defaultReps,
 		Variants:    kernels.AllVariants,
+		Mono:        true,
 	})}
 }
 
@@ -48,15 +49,17 @@ func (k *Daxpy) SetUp(rp kernels.RunParams) {
 func (k *Daxpy) Run(v kernels.VariantID, rp kernels.RunParams) error {
 	x, y, a := k.x, k.y, k.a
 	body := func(i int) { y[i] += a * x[i] }
+	span := daxpySpan{x: x, y: y, a: a}
 	for r := 0; r < rp.EffectiveReps(k.Info()); r++ {
-		err := kernels.RunVariant(v, rp, k.n,
+		err := kernels.RunVariantG(v, rp, k.n,
 			func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					y[i] += a * x[i]
 				}
 			},
 			body,
-			func(_ raja.Ctx, i int) { y[i] += a * x[i] })
+			func(_ raja.Ctx, i int) { y[i] += a * x[i] },
+			span)
 		if err != nil {
 			return k.Unsupported(v)
 		}

@@ -27,6 +27,7 @@ func NewIfQuad() kernels.Kernel {
 		DefaultSize: defaultSize,
 		DefaultReps: defaultReps,
 		Variants:    kernels.AllVariants,
+		Mono:        true,
 	})}
 }
 
@@ -75,8 +76,9 @@ func quadBody(a, b, c, x1, x2 []float64) func(int) {
 // Run implements kernels.Kernel.
 func (k *IfQuad) Run(v kernels.VariantID, rp kernels.RunParams) error {
 	body := quadBody(k.a, k.b, k.c, k.x1, k.x2)
+	span := ifQuadSpan{a: k.a, b: k.b, c: k.c, x1: k.x1, x2: k.x2}
 	for r := 0; r < rp.EffectiveReps(k.Info()); r++ {
-		err := kernels.RunVariant(v, rp, k.n,
+		err := kernels.RunVariantG(v, rp, k.n,
 			func(lo, hi int) {
 				a, b, c, x1, x2 := k.a, k.b, k.c, k.x1, k.x2
 				for i := lo; i < hi; i++ {
@@ -93,7 +95,8 @@ func (k *IfQuad) Run(v kernels.VariantID, rp kernels.RunParams) error {
 				}
 			},
 			body,
-			func(_ raja.Ctx, i int) { body(i) })
+			func(_ raja.Ctx, i int) { body(i) },
+			span)
 		if err != nil {
 			return k.Unsupported(v)
 		}

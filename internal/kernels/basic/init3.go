@@ -23,6 +23,7 @@ func NewInit3() kernels.Kernel {
 		DefaultSize: defaultSize,
 		DefaultReps: defaultReps,
 		Variants:    kernels.AllVariants,
+		Mono:        true,
 	})}
 }
 
@@ -52,8 +53,9 @@ func (k *Init3) Run(v kernels.VariantID, rp kernels.RunParams) error {
 		val := -i1[i] - i2[i]
 		o1[i], o2[i], o3[i] = val, val, val
 	}
+	span := init3Span{o1: o1, o2: o2, o3: o3, i1: i1, i2: i2}
 	for r := 0; r < rp.EffectiveReps(k.Info()); r++ {
-		err := kernels.RunVariant(v, rp, k.n,
+		err := kernels.RunVariantG(v, rp, k.n,
 			func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					val := -i1[i] - i2[i]
@@ -61,7 +63,8 @@ func (k *Init3) Run(v kernels.VariantID, rp kernels.RunParams) error {
 				}
 			},
 			body,
-			func(_ raja.Ctx, i int) { body(i) })
+			func(_ raja.Ctx, i int) { body(i) },
+			span)
 		if err != nil {
 			return k.Unsupported(v)
 		}

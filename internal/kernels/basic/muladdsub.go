@@ -24,6 +24,7 @@ func NewMulAddSub() kernels.Kernel {
 		DefaultSize: defaultSize,
 		DefaultReps: defaultReps,
 		Variants:    kernels.AllVariants,
+		Mono:        true,
 	})}
 }
 
@@ -54,8 +55,9 @@ func (k *MulAddSub) Run(v kernels.VariantID, rp kernels.RunParams) error {
 		o2[i] = i1[i] + i2[i]
 		o3[i] = i1[i] - i2[i]
 	}
+	span := mulAddSubSpan{o1: o1, o2: o2, o3: o3, i1: i1, i2: i2}
 	for r := 0; r < rp.EffectiveReps(k.Info()); r++ {
-		err := kernels.RunVariant(v, rp, k.n,
+		err := kernels.RunVariantG(v, rp, k.n,
 			func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					o1[i] = i1[i] * i2[i]
@@ -64,7 +66,8 @@ func (k *MulAddSub) Run(v kernels.VariantID, rp kernels.RunParams) error {
 				}
 			},
 			body,
-			func(_ raja.Ctx, i int) { body(i) })
+			func(_ raja.Ctx, i int) { body(i) },
+			span)
 		if err != nil {
 			return k.Unsupported(v)
 		}

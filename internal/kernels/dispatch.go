@@ -48,6 +48,28 @@ func RunVariant(v VariantID, rp RunParams, n int,
 	return nil
 }
 
+// RunVariantG is the monomorphized counterpart of RunVariant for kernels
+// rewired to the generic API. Base and Lambda variants behave exactly as
+// RunVariant; RAJA variants dispatch the span body through
+// raja.ForallSpanG — each (policy, schedule, body-type) combination
+// compiles to its own specialized loop — unless rp.Dispatch is
+// DispatchClosure, which forces the classic per-index closure path so
+// conformance tests and the portability study can compare the two.
+func RunVariantG[B raja.SpanBody](v VariantID, rp RunParams, n int,
+	base func(lo, hi int), lambda func(i int), closure raja.Body, body B) error {
+	switch v {
+	case RAJASeq, RAJAOpenMP, RAJAGPU:
+		if rp.Dispatch == DispatchClosure {
+			raja.Forall(rp.Policy(v), n, closure)
+		} else {
+			raja.ForallSpanG(rp.Policy(v), n, body)
+		}
+		return nil
+	default:
+		return RunVariant(v, rp, n, base, lambda, closure)
+	}
+}
+
 // SeqVariants is the sequential-only variant set used by kernels with
 // loop-carried structure that the paper only runs sequentially.
 var SeqVariants = []VariantID{BaseSeq, LambdaSeq, RAJASeq}

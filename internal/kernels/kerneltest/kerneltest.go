@@ -7,6 +7,7 @@ package kerneltest
 
 import (
 	"errors"
+	"math"
 	"testing"
 
 	"rajaperf/internal/kernels"
@@ -34,6 +35,7 @@ func CheckKernel(t *testing.T, fullName string) {
 		checkDeterminism(t, fullName)
 		checkEdgeParams(t, fullName)
 		checkSchedules(t, fullName)
+		checkDispatchModes(t, fullName)
 	})
 }
 
@@ -228,6 +230,77 @@ func checkSchedules(t *testing.T, fullName string) {
 		}
 		if !kernels.ChecksumsClose(got, want) {
 			t.Errorf("RAJA_OpenMP schedule=%v: checksum %v != Base_Seq %v", sched, got, want)
+		}
+	}
+}
+
+// checkDispatchModes verifies kernels rewired to the monomorphized
+// generic API (Info.Mono) compute the same answer through closure and
+// monomorphized dispatch. Elementwise and scan kernels must agree bit
+// for bit on every RAJA variant and schedule: the fused paths walk
+// identical granule partitions in identical order. Floating-point
+// reductions are bitwise under Seq and static scheduling (same
+// chunk-to-slot mapping, same ascending fold) and held to the checksum
+// tolerance under dynamic, guided, and GPU dispatch, where the
+// chunk-to-lane assignment — and hence the combine order — is racy in
+// both modes.
+func checkDispatchModes(t *testing.T, fullName string) {
+	t.Helper()
+	ref, err := kernels.New(fullName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := ref.Info()
+	if !in.Mono {
+		return
+	}
+	reduction := in.HasFeature(kernels.FeatReduction)
+
+	type trial struct {
+		v       kernels.VariantID
+		sched   raja.Schedule
+		bitwise bool
+	}
+	var trials []trial
+	if in.HasVariant(kernels.RAJASeq) {
+		trials = append(trials, trial{kernels.RAJASeq, raja.ScheduleStatic, true})
+	}
+	if in.HasVariant(kernels.RAJAOpenMP) {
+		trials = append(trials,
+			trial{kernels.RAJAOpenMP, raja.ScheduleStatic, true},
+			trial{kernels.RAJAOpenMP, raja.ScheduleDynamic, !reduction},
+			trial{kernels.RAJAOpenMP, raja.ScheduleGuided, !reduction})
+	}
+	if in.HasVariant(kernels.RAJAGPU) {
+		trials = append(trials, trial{kernels.RAJAGPU, raja.ScheduleStatic, !reduction})
+	}
+
+	for _, tr := range trials {
+		rp := Params()
+		rp.Size = 8_000
+		rp.Reps = 1
+		rp.Schedule = tr.sched
+
+		crp := rp
+		crp.Dispatch = kernels.DispatchClosure
+		closure, ok := runOnce(t, fullName, tr.v, crp)
+		if !ok {
+			continue
+		}
+		mrp := rp
+		mrp.Dispatch = kernels.DispatchMono
+		mono, ok := runOnce(t, fullName, tr.v, mrp)
+		if !ok {
+			continue
+		}
+		if tr.bitwise {
+			if math.Float64bits(closure) != math.Float64bits(mono) {
+				t.Errorf("%s schedule=%v: mono checksum %v not bit-identical to closure %v",
+					tr.v, tr.sched, mono, closure)
+			}
+		} else if !kernels.ChecksumsClose(closure, mono) {
+			t.Errorf("%s schedule=%v: mono checksum %v != closure %v",
+				tr.v, tr.sched, mono, closure)
 		}
 	}
 }

@@ -25,6 +25,7 @@ func NewEos() kernels.Kernel {
 		DefaultSize: defaultSize,
 		DefaultReps: defaultReps,
 		Variants:    kernels.AllVariants,
+		Mono:        true,
 	})}
 }
 
@@ -57,8 +58,9 @@ func (k *Eos) Run(v kernels.VariantID, rp kernels.RunParams) error {
 			t*(u[i+3]+rr*(u[i+2]+rr*u[i+1])+
 				t*(u[i+6]+q*(u[i+5]+q*u[i+4])))
 	}
+	span := eosSpan{x: x, y: y, z: z, u: u, q: q, r: rr, t: t}
 	for r := 0; r < rp.EffectiveReps(k.Info()); r++ {
-		err := kernels.RunVariant(v, rp, k.n,
+		err := kernels.RunVariantG(v, rp, k.n,
 			func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					x[i] = u[i] + rr*(z[i]+rr*y[i]) +
@@ -67,7 +69,8 @@ func (k *Eos) Run(v kernels.VariantID, rp kernels.RunParams) error {
 				}
 			},
 			body,
-			func(_ raja.Ctx, i int) { body(i) })
+			func(_ raja.Ctx, i int) { body(i) },
+			span)
 		if err != nil {
 			return k.Unsupported(v)
 		}

@@ -23,6 +23,7 @@ func NewFirstDiff() kernels.Kernel {
 		DefaultSize: defaultSize,
 		DefaultReps: defaultReps,
 		Variants:    kernels.AllVariants,
+		Mono:        true,
 	})}
 }
 
@@ -45,15 +46,17 @@ func (k *FirstDiff) SetUp(rp kernels.RunParams) {
 func (k *FirstDiff) Run(v kernels.VariantID, rp kernels.RunParams) error {
 	x, y := k.x, k.y
 	body := func(i int) { x[i] = y[i+1] - y[i] }
+	span := firstDiffSpan{x: x, y: y}
 	for r := 0; r < rp.EffectiveReps(k.Info()); r++ {
-		err := kernels.RunVariant(v, rp, k.n,
+		err := kernels.RunVariantG(v, rp, k.n,
 			func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					x[i] = y[i+1] - y[i]
 				}
 			},
 			body,
-			func(_ raja.Ctx, i int) { x[i] = y[i+1] - y[i] })
+			func(_ raja.Ctx, i int) { x[i] = y[i+1] - y[i] },
+			span)
 		if err != nil {
 			return k.Unsupported(v)
 		}

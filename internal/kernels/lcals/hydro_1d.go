@@ -25,6 +25,7 @@ func NewHydro1D() kernels.Kernel {
 		DefaultSize: defaultSize,
 		DefaultReps: defaultReps,
 		Variants:    kernels.AllVariants,
+		Mono:        true,
 	})}
 }
 
@@ -50,15 +51,17 @@ func (k *Hydro1D) SetUp(rp kernels.RunParams) {
 func (k *Hydro1D) Run(v kernels.VariantID, rp kernels.RunParams) error {
 	x, y, z, q, rr, t := k.x, k.y, k.z, k.q, k.r, k.t
 	body := func(i int) { x[i] = q + y[i]*(rr*z[i+10]+t*z[i+11]) }
+	span := hydro1DSpan{x: x, y: y, z: z, q: q, r: rr, t: t}
 	for r := 0; r < rp.EffectiveReps(k.Info()); r++ {
-		err := kernels.RunVariant(v, rp, k.n,
+		err := kernels.RunVariantG(v, rp, k.n,
 			func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					x[i] = q + y[i]*(rr*z[i+10]+t*z[i+11])
 				}
 			},
 			body,
-			func(_ raja.Ctx, i int) { body(i) })
+			func(_ raja.Ctx, i int) { body(i) },
+			span)
 		if err != nil {
 			return k.Unsupported(v)
 		}

@@ -23,6 +23,7 @@ func NewAdd() kernels.Kernel {
 		DefaultSize: defaultSize,
 		DefaultReps: defaultReps,
 		Variants:    allVariants,
+		Mono:        true,
 	})}
 }
 
@@ -47,15 +48,17 @@ func (k *Add) SetUp(rp kernels.RunParams) {
 func (k *Add) Run(v kernels.VariantID, rp kernels.RunParams) error {
 	a, b, c := k.a, k.b, k.c
 	body := func(i int) { c[i] = a[i] + b[i] }
+	span := addSpan{a: a, b: b, c: c}
 	for r := 0; r < rp.EffectiveReps(k.Info()); r++ {
-		err := kernels.RunVariant(v, rp, k.n,
+		err := kernels.RunVariantG(v, rp, k.n,
 			func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					c[i] = a[i] + b[i]
 				}
 			},
 			body,
-			func(_ raja.Ctx, i int) { c[i] = a[i] + b[i] })
+			func(_ raja.Ctx, i int) { c[i] = a[i] + b[i] },
+			span)
 		if err != nil {
 			return k.Unsupported(v)
 		}

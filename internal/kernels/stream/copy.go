@@ -23,6 +23,7 @@ func NewCopy() kernels.Kernel {
 		DefaultSize: defaultSize,
 		DefaultReps: defaultReps,
 		Variants:    allVariants,
+		Mono:        true,
 	})}
 }
 
@@ -45,15 +46,17 @@ func (k *Copy) SetUp(rp kernels.RunParams) {
 func (k *Copy) Run(v kernels.VariantID, rp kernels.RunParams) error {
 	a, c := k.a, k.c
 	body := func(i int) { c[i] = a[i] }
+	span := copySpan{a: a, c: c}
 	for r := 0; r < rp.EffectiveReps(k.Info()); r++ {
-		err := kernels.RunVariant(v, rp, k.n,
+		err := kernels.RunVariantG(v, rp, k.n,
 			func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					c[i] = a[i]
 				}
 			},
 			body,
-			func(_ raja.Ctx, i int) { c[i] = a[i] })
+			func(_ raja.Ctx, i int) { c[i] = a[i] },
+			span)
 		if err != nil {
 			return k.Unsupported(v)
 		}

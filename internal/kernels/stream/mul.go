@@ -24,6 +24,7 @@ func NewMul() kernels.Kernel {
 		DefaultSize: defaultSize,
 		DefaultReps: defaultReps,
 		Variants:    allVariants,
+		Mono:        true,
 	})}
 }
 
@@ -47,15 +48,17 @@ func (k *Mul) SetUp(rp kernels.RunParams) {
 func (k *Mul) Run(v kernels.VariantID, rp kernels.RunParams) error {
 	b, c, alpha := k.b, k.c, k.alpha
 	body := func(i int) { b[i] = alpha * c[i] }
+	span := mulSpan{b: b, c: c, alpha: alpha}
 	for r := 0; r < rp.EffectiveReps(k.Info()); r++ {
-		err := kernels.RunVariant(v, rp, k.n,
+		err := kernels.RunVariantG(v, rp, k.n,
 			func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					b[i] = alpha * c[i]
 				}
 			},
 			body,
-			func(_ raja.Ctx, i int) { b[i] = alpha * c[i] })
+			func(_ raja.Ctx, i int) { b[i] = alpha * c[i] },
+			span)
 		if err != nil {
 			return k.Unsupported(v)
 		}

@@ -321,32 +321,112 @@ func spawnForallGuided(r Range, body Body, minGrab, workers int, in *Instr, tr L
 	wg.Wait()
 }
 
-// Forall2D executes body over the iteration space [0,ni) x [0,nj), with the
-// outer (i) dimension distributed according to p. Bodies observe j varying
-// fastest, matching the suite's nested-loop kernels.
+// Forall2D executes body over the collapsed iteration space
+// [0,ni) x [0,nj), distributed according to p (OpenMP collapse(2)).
+// Bodies observe j varying fastest, matching the suite's nested-loop
+// kernels. Collapsing schedules ni*nj indices instead of ni outer rows,
+// so short outer dimensions still balance across every lane, and the
+// span-granular dispatch walks (i, j) incrementally — one div/mod per
+// scheduling granule rather than one closure call per outer index.
 func Forall2D(p Policy, ni, nj int, body func(c Ctx, i, j int)) {
-	ForallRange(p, RangeN(ni), func(c Ctx, i int) {
-		for j := 0; j < nj; j++ {
+	if ni <= 0 || nj <= 0 {
+		return
+	}
+	forallSpans(p, RangeN(ni*nj), func(c Ctx, lo, hi int) {
+		i, j := lo/nj, lo%nj
+		for f := lo; f < hi; f++ {
 			body(c, i, j)
+			j++
+			if j == nj {
+				j, i = 0, i+1
+			}
 		}
 	})
 }
 
-// Forall3D executes body over [0,ni) x [0,nj) x [0,nk) with the outer
-// dimension distributed according to p and k varying fastest.
+// Forall3D executes body over the collapsed space [0,ni) x [0,nj) x
+// [0,nk), distributed according to p with k varying fastest (OpenMP
+// collapse(3)).
 func Forall3D(p Policy, ni, nj, nk int, body func(c Ctx, i, j, k int)) {
-	ForallRange(p, RangeN(ni), func(c Ctx, i int) {
-		for j := 0; j < nj; j++ {
-			for k := 0; k < nk; k++ {
-				body(c, i, j, k)
+	if ni <= 0 || nj <= 0 || nk <= 0 {
+		return
+	}
+	forallSpans(p, RangeN(ni*nj*nk), func(c Ctx, lo, hi int) {
+		i := lo / (nj * nk)
+		rem := lo - i*nj*nk
+		j, k := rem/nk, rem%nk
+		for f := lo; f < hi; f++ {
+			body(c, i, j, k)
+			k++
+			if k == nk {
+				k, j = 0, j+1
+				if j == nj {
+					j, i = 0, i+1
+				}
 			}
 		}
 	})
 }
 
 // ForallSegments executes body over each index of each segment, mirroring
-// RAJA's TypedIndexSet dispatch over a list of ranges.
+// RAJA's TypedIndexSet dispatch over a list of ranges. All segments fuse
+// into a single pool dispatch over the concatenated index space — the
+// schedule balances the total work, not each segment separately, and a
+// list of short segments costs one dispatch instead of one per segment.
+// Indices within one segment still execute in ascending order on the
+// lane that owns them, but segments are not barriers: iterations of
+// different segments may run concurrently. Kernels that need segment k
+// complete before segment k+1 starts use ForallSegmentsOrdered.
 func ForallSegments(p Policy, segs []Range, body Body) {
+	total := 0
+	for _, s := range segs {
+		total += s.Len()
+	}
+	if total == 0 {
+		return
+	}
+	// ends[k] is the flat offset one past segment k; a granule binary-
+	// searches its starting segment once, then walks linearly.
+	ends := make([]int, len(segs))
+	off := 0
+	for k, s := range segs {
+		off += s.Len()
+		ends[k] = off
+	}
+	forallSpans(p, RangeN(total), func(c Ctx, lo, hi int) {
+		k := 0
+		if lo > 0 {
+			a, b := 0, len(ends)
+			for a < b {
+				m := (a + b) / 2
+				if ends[m] <= lo {
+					a = m + 1
+				} else {
+					b = m
+				}
+			}
+			k = a
+		}
+		for f := lo; f < hi; k++ {
+			segEnd := ends[k]
+			start := segEnd - segs[k].Len()
+			stop := hi
+			if segEnd < stop {
+				stop = segEnd
+			}
+			base := segs[k].Begin - start
+			for ; f < stop; f++ {
+				body(c, base+f)
+			}
+		}
+	})
+}
+
+// ForallSegmentsOrdered executes the segments one after another, each as
+// its own dispatch with a barrier in between — the pre-fusion
+// ForallSegments semantics, for bodies that carry a dependence from one
+// segment to the next.
+func ForallSegmentsOrdered(p Policy, segs []Range, body Body) {
 	for _, s := range segs {
 		ForallRange(p, s, body)
 	}

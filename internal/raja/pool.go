@@ -124,6 +124,7 @@ type poolTask struct {
 	body    Body                // forall modes
 	chunkFn func(w, lo, hi int) // static skeleton mode (Base_OpenMP)
 	blockFn func(lo, hi int)    // dynamic skeleton mode (Base_GPU)
+	spanFn  spanFunc            // span mode (generic/monomorphized dispatch)
 	r       Range
 	lanes   int
 	chunk   int // static: chunk size
@@ -240,7 +241,7 @@ func (p *Pool) runAndWait(lanes int) {
 	if lanes > 1 {
 		<-p.done
 	}
-	t.body, t.chunkFn, t.blockFn = nil, nil, nil
+	t.body, t.chunkFn, t.blockFn, t.spanFn = nil, nil, nil, nil
 	t.instr, t.trace = nil, nil
 	p.mu.Unlock()
 	p.dispatchEnd(tele, start)
@@ -296,6 +297,58 @@ func (p *Pool) forallGuided(r Range, body Body, minGrab, lanes int) bool {
 	t := &p.task
 	t.sched = ScheduleGuided
 	t.body = body
+	t.r = r
+	t.lanes = p.clampLanes(lanes)
+	t.block = minGrab
+	t.cursor.Store(0)
+	t.grabs.Store(0)
+	p.runAndWait(t.lanes)
+	return true
+}
+
+// forallSpanStatic dispatches a static-chunked span forall; false if the
+// pool was unavailable. The span function receives whole granules, so the
+// per-index inner loop lives in the (monomorphized) caller, not here.
+func (p *Pool) forallSpanStatic(r Range, span spanFunc, chunks, chunk int) bool {
+	if !p.acquire() {
+		return false
+	}
+	t := &p.task
+	t.sched = ScheduleStatic
+	t.spanFn = span
+	t.r = r
+	t.lanes = p.clampLanes(chunks)
+	t.chunk, t.chunks = chunk, chunks
+	p.runAndWait(t.lanes)
+	return true
+}
+
+// forallSpanDynamic dispatches a block-cursor span forall over lanes
+// workers; false if the pool was unavailable.
+func (p *Pool) forallSpanDynamic(r Range, span spanFunc, block, lanes int) bool {
+	if !p.acquire() {
+		return false
+	}
+	t := &p.task
+	t.sched = ScheduleDynamic
+	t.spanFn = span
+	t.r = r
+	t.lanes = p.clampLanes(lanes)
+	t.block = block
+	t.cursor.Store(0)
+	p.runAndWait(t.lanes)
+	return true
+}
+
+// forallSpanGuided dispatches a guided span forall over lanes workers;
+// false if the pool was unavailable.
+func (p *Pool) forallSpanGuided(r Range, span spanFunc, minGrab, lanes int) bool {
+	if !p.acquire() {
+		return false
+	}
+	t := &p.task
+	t.sched = ScheduleGuided
+	t.spanFn = span
 	t.r = r
 	t.lanes = p.clampLanes(lanes)
 	t.block = minGrab
@@ -446,6 +499,8 @@ func (t *poolTask) runStatic(lane int) {
 		}
 		if t.chunkFn != nil {
 			t.chunkFn(w, lo-t.r.Begin, hi-t.r.Begin)
+		} else if t.spanFn != nil {
+			t.spanFn(Ctx{Worker: w, Block: w}, lo, hi)
 		} else {
 			body := t.body
 			c := Ctx{Worker: w, Block: w}
@@ -484,6 +539,9 @@ func (t *poolTask) runDynamic(lane int) {
 		}
 		if t.blockFn != nil {
 			t.blockFn(lo-t.r.Begin, hi-t.r.Begin)
+		} else if t.spanFn != nil {
+			c.Block = b
+			t.spanFn(c, lo, hi)
 		} else {
 			c.Block = b
 			for i := lo; i < hi; i++ {
@@ -524,8 +582,12 @@ func (t *poolTask) runGuided(lane int) {
 		if measured {
 			start = time.Now()
 		}
-		for i := lo; i < hi; i++ {
-			body(c, i)
+		if t.spanFn != nil {
+			t.spanFn(c, lo, hi)
+		} else {
+			for i := lo; i < hi; i++ {
+				body(c, i)
+			}
 		}
 		t.beats.Add(1)
 		if measured {

@@ -1,0 +1,132 @@
+//go:build rajaunsafe
+
+package raja
+
+import "unsafe"
+
+// Pointer-walking variants of the unit-stride span kernels, selected by
+// -tags rajaunsafe. Bounds are validated once per span (an explicit index
+// of the last element), then the loop advances raw element pointers, so
+// no per-iteration bounds checks or slice-header loads remain. The
+// answers are bit-identical to the safe variants — same operations in
+// the same order — which kerneltest asserts when CI runs the corpus
+// under this tag.
+
+const f64size = unsafe.Sizeof(float64(0))
+
+// TriadSpan computes a[i] = b[i] + alpha*c[i] for i in [lo, hi).
+func TriadSpan(a, b, c []float64, alpha float64, lo, hi int) {
+	if lo >= hi {
+		return
+	}
+	_, _, _ = a[hi-1], b[hi-1], c[hi-1]
+	pa := unsafe.Pointer(&a[lo])
+	pb := unsafe.Pointer(&b[lo])
+	pc := unsafe.Pointer(&c[lo])
+	for n := hi - lo; n > 0; n-- {
+		*(*float64)(pa) = *(*float64)(pb) + alpha**(*float64)(pc)
+		pa = unsafe.Add(pa, f64size)
+		pb = unsafe.Add(pb, f64size)
+		pc = unsafe.Add(pc, f64size)
+	}
+}
+
+// AddSpan computes dst[i] = a[i] + b[i] for i in [lo, hi).
+func AddSpan(dst, a, b []float64, lo, hi int) {
+	if lo >= hi {
+		return
+	}
+	_, _, _ = dst[hi-1], a[hi-1], b[hi-1]
+	pd := unsafe.Pointer(&dst[lo])
+	pa := unsafe.Pointer(&a[lo])
+	pb := unsafe.Pointer(&b[lo])
+	for n := hi - lo; n > 0; n-- {
+		*(*float64)(pd) = *(*float64)(pa) + *(*float64)(pb)
+		pd = unsafe.Add(pd, f64size)
+		pa = unsafe.Add(pa, f64size)
+		pb = unsafe.Add(pb, f64size)
+	}
+}
+
+// CopySpan computes dst[i] = src[i] for i in [lo, hi).
+func CopySpan(dst, src []float64, lo, hi int) {
+	if lo >= hi {
+		return
+	}
+	copy(dst[lo:hi], src[lo:hi])
+}
+
+// ScaleSpan computes dst[i] = alpha * src[i] for i in [lo, hi).
+func ScaleSpan(dst, src []float64, alpha float64, lo, hi int) {
+	if lo >= hi {
+		return
+	}
+	_, _ = dst[hi-1], src[hi-1]
+	pd := unsafe.Pointer(&dst[lo])
+	ps := unsafe.Pointer(&src[lo])
+	for n := hi - lo; n > 0; n-- {
+		*(*float64)(pd) = alpha * *(*float64)(ps)
+		pd = unsafe.Add(pd, f64size)
+		ps = unsafe.Add(ps, f64size)
+	}
+}
+
+// AxpySpan computes y[i] += alpha * x[i] for i in [lo, hi).
+func AxpySpan(y, x []float64, alpha float64, lo, hi int) {
+	if lo >= hi {
+		return
+	}
+	_, _ = y[hi-1], x[hi-1]
+	py := unsafe.Pointer(&y[lo])
+	px := unsafe.Pointer(&x[lo])
+	for n := hi - lo; n > 0; n-- {
+		*(*float64)(py) += alpha * *(*float64)(px)
+		py = unsafe.Add(py, f64size)
+		px = unsafe.Add(px, f64size)
+	}
+}
+
+// FillSpan sets dst[i] = v for i in [lo, hi).
+func FillSpan(dst []float64, v float64, lo, hi int) {
+	if lo >= hi {
+		return
+	}
+	_ = dst[hi-1]
+	pd := unsafe.Pointer(&dst[lo])
+	for n := hi - lo; n > 0; n-- {
+		*(*float64)(pd) = v
+		pd = unsafe.Add(pd, f64size)
+	}
+}
+
+// DotSpan returns the ascending-order sum of a[i]*b[i] over [lo, hi).
+func DotSpan(a, b []float64, lo, hi int) float64 {
+	if lo >= hi {
+		return 0
+	}
+	_, _ = a[hi-1], b[hi-1]
+	pa := unsafe.Pointer(&a[lo])
+	pb := unsafe.Pointer(&b[lo])
+	var s float64
+	for n := hi - lo; n > 0; n-- {
+		s += *(*float64)(pa) * *(*float64)(pb)
+		pa = unsafe.Add(pa, f64size)
+		pb = unsafe.Add(pb, f64size)
+	}
+	return s
+}
+
+// SumSpan returns the ascending-order sum of x[i] over [lo, hi).
+func SumSpan(x []float64, lo, hi int) float64 {
+	if lo >= hi {
+		return 0
+	}
+	_ = x[hi-1]
+	px := unsafe.Pointer(&x[lo])
+	var s float64
+	for n := hi - lo; n > 0; n-- {
+		s += *(*float64)(px)
+		px = unsafe.Add(px, f64size)
+	}
+	return s
+}

@@ -1,0 +1,264 @@
+package raja
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// spanFunc is the granule-level loop body used by the monomorphized
+// dispatch paths: one call per scheduling granule (static chunk, dynamic
+// block, guided grab), covering the half-open span [lo, hi). The per-index
+// inner loop lives inside the span function — in generic code it is
+// stenciled per body type and inlines the body's method — so the closure
+// indirection the classic Body path pays per index is paid once per
+// granule here, where it amortizes to nothing.
+type spanFunc func(c Ctx, lo, hi int)
+
+// forallSpans executes span over r's scheduling granules under p. The Ctx
+// handed to each span call carries the same Worker/Block values the
+// per-index Body path reports for the indices of that granule, so
+// reducers and instrumentation observe identical lane semantics on both
+// paths. Degenerate single-lane cases walk the same granule sequence as
+// the multi-lane paths.
+func forallSpans(p Policy, r Range, span spanFunc) {
+	if r.Len() == 0 {
+		return
+	}
+	if p.Kind == Seq {
+		span(Ctx{}, r.Begin, r.End)
+		return
+	}
+	switch p.schedule() {
+	case ScheduleStatic:
+		forallSpanStatic(p.pool(), p.workers(), r, span)
+	case ScheduleGuided:
+		forallSpanGuided(p.pool(), p.workers(), p.guidedMin(), r, span)
+	default:
+		forallSpanDynamic(p.pool(), p.workers(), p.block(), r, span)
+	}
+}
+
+// forallSpanStatic mirrors forallStatic at span granularity: one
+// contiguous chunk per worker, Ctx.Worker == Ctx.Block == chunk index.
+func forallSpanStatic(pool *Pool, workers int, r Range, span spanFunc) {
+	n := r.Len()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		span(Ctx{}, r.Begin, r.End)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	chunks := (n + chunk - 1) / chunk
+	if pool.forallSpanStatic(r, span, chunks, chunk) {
+		return
+	}
+	pool.beats.Add(1)
+	pool.noteFallback()
+	spawnForallSpanStatic(r, span, chunks, chunk, pool.activeInstr(), pool.activeTrace())
+}
+
+// forallSpanDynamic mirrors forallDynamic at span granularity: fixed-size
+// blocks from a shared cursor, Ctx.Block the block ordinal.
+func forallSpanDynamic(pool *Pool, workers, block int, r Range, span spanFunc) {
+	n := r.Len()
+	blocks := (n + block - 1) / block
+	if workers > blocks {
+		workers = blocks
+	}
+	if workers <= 1 {
+		c := Ctx{}
+		for b := 0; b < blocks; b++ {
+			lo := r.Begin + b*block
+			hi := lo + block
+			if hi > r.End {
+				hi = r.End
+			}
+			c.Block = b
+			span(c, lo, hi)
+		}
+		return
+	}
+	if pool.forallSpanDynamic(r, span, block, workers) {
+		return
+	}
+	pool.beats.Add(1)
+	pool.noteFallback()
+	spawnForallSpanDynamic(r, span, block, workers, pool.activeInstr(), pool.activeTrace())
+}
+
+// forallSpanGuided mirrors forallGuided at span granularity: shrinking
+// grabs, Ctx.Block the grab ordinal.
+func forallSpanGuided(pool *Pool, workers, minGrab int, r Range, span spanFunc) {
+	n := r.Len()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		c := Ctx{}
+		for cur := 0; cur < n; {
+			take := (n - cur) / 2
+			if take < minGrab {
+				take = minGrab
+			}
+			if take > n-cur {
+				take = n - cur
+			}
+			span(c, r.Begin+cur, r.Begin+cur+take)
+			cur += take
+			c.Block++
+		}
+		return
+	}
+	if pool.forallSpanGuided(r, span, minGrab, workers) {
+		return
+	}
+	pool.beats.Add(1)
+	pool.noteFallback()
+	spawnForallSpanGuided(r, span, minGrab, workers, pool.activeInstr(), pool.activeTrace())
+}
+
+// spawnForallSpanStatic is the goroutine-per-chunk static span path, used
+// when the pool is busy or closed. It wires the same instrumentation and
+// trace services as the pooled path, so specialized dispatches stay
+// observable on the fallback route too.
+func spawnForallSpanStatic(r Range, span spanFunc, chunks, chunk int, in *Instr, tr LaneTrace) {
+	var wg sync.WaitGroup
+	for w := 0; w < chunks; w++ {
+		lo := r.Begin + w*chunk
+		hi := lo + chunk
+		if hi > r.End {
+			hi = r.End
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			if in != nil {
+				in.wake(w)
+			}
+			var start time.Time
+			if in != nil || tr != nil {
+				start = time.Now()
+			}
+			span(Ctx{Worker: w, Block: w}, lo, hi)
+			if in != nil || tr != nil {
+				d := time.Since(start)
+				if in != nil {
+					in.granule(w, w, d)
+				}
+				if tr != nil {
+					tr(w, granuleChunk, start, d)
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// spawnForallSpanDynamic is the goroutine-per-worker dynamic span path.
+func spawnForallSpanDynamic(r Range, span spanFunc, block, workers int, in *Instr, tr LaneTrace) {
+	n := r.Len()
+	blocks := (n + block - 1) / block
+	var (
+		wg     sync.WaitGroup
+		cursor atomic.Int64
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if in != nil {
+				in.wake(w)
+			}
+			measured := in != nil || tr != nil
+			c := Ctx{Worker: w}
+			for {
+				b := int(cursor.Add(1) - 1)
+				if b >= blocks {
+					return
+				}
+				lo := r.Begin + b*block
+				hi := lo + block
+				if hi > r.End {
+					hi = r.End
+				}
+				var start time.Time
+				if measured {
+					start = time.Now()
+				}
+				c.Block = b
+				span(c, lo, hi)
+				if measured {
+					d := time.Since(start)
+					if in != nil {
+						in.granule(w, b%workers, d)
+					}
+					if tr != nil {
+						tr(w, granuleBlock, start, d)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// spawnForallSpanGuided is the goroutine-per-worker guided span path.
+func spawnForallSpanGuided(r Range, span spanFunc, minGrab, workers int, in *Instr, tr LaneTrace) {
+	n := int64(r.Len())
+	var (
+		wg     sync.WaitGroup
+		cursor atomic.Int64
+		grabs  atomic.Int64
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if in != nil {
+				in.wake(w)
+			}
+			measured := in != nil || tr != nil
+			c := Ctx{Worker: w}
+			for {
+				cur := cursor.Load()
+				if cur >= n {
+					return
+				}
+				take := (n - cur) / int64(2*workers)
+				if take < int64(minGrab) {
+					take = int64(minGrab)
+				}
+				if take > n-cur {
+					take = n - cur
+				}
+				if !cursor.CompareAndSwap(cur, cur+take) {
+					continue
+				}
+				c.Block = int(grabs.Add(1) - 1)
+				lo := r.Begin + int(cur)
+				hi := lo + int(take)
+				var start time.Time
+				if measured {
+					start = time.Now()
+				}
+				span(c, lo, hi)
+				if measured {
+					d := time.Since(start)
+					if in != nil {
+						in.granule(w, c.Block%workers, d)
+					}
+					if tr != nil {
+						tr(w, granuleGrab, start, d)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,69 @@
+package rajaperf
+
+import (
+	"testing"
+
+	"rajaperf/internal/kernels"
+)
+
+// BenchmarkPortability measures the RAJA-vs-Base abstraction gap the
+// monomorphized execution core exists to close. For each rewired kernel
+// it times the hand-written Base_Seq loop, the classic closure-dispatch
+// RAJA_Seq path, and the monomorphized RAJA_Seq path, under one
+// sub-benchmark namespace that cmd/benchgate's portability mode parses:
+//
+//	go test -bench BenchmarkPortability -run xxx > bench_portability.txt
+//	go run ./cmd/benchgate -portability bench_portability.txt \
+//	    -portability-baseline testdata/portability_baseline.json
+//
+// Seq variants are the reliable portability probe on small CI hosts:
+// parallel back-ends degenerate to one lane there and measure dispatch
+// noise, not abstraction overhead.
+func BenchmarkPortability(b *testing.B) {
+	const size = 1 << 20
+	names := []string{
+		"Stream_TRIAD", "Stream_ADD", "Stream_COPY", "Stream_MUL",
+		"Stream_DOT", "Basic_DAXPY", "Lcals_HYDRO_1D", "Lcals_EOS",
+	}
+	for _, name := range names {
+		b.Run(name, func(b *testing.B) {
+			k, err := kernels.New(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !k.Info().Mono {
+				b.Fatalf("%s is not rewired to monomorphized dispatch", name)
+			}
+			rp := kernels.RunParams{Size: size, Reps: 1}
+			k.SetUp(rp)
+			defer k.TearDown()
+
+			runs := []struct {
+				label    string
+				v        kernels.VariantID
+				dispatch kernels.DispatchMode
+			}{
+				{"Base_Seq", kernels.BaseSeq, kernels.DispatchMono},
+				{"RAJA_Seq_closure", kernels.RAJASeq, kernels.DispatchClosure},
+				{"RAJA_Seq_mono", kernels.RAJASeq, kernels.DispatchMono},
+			}
+			for _, r := range runs {
+				vrp := rp
+				vrp.Dispatch = r.dispatch
+				b.Run(r.label, func(b *testing.B) {
+					m := k.Metrics()
+					b.SetBytes(int64(m.BytesRead + m.BytesWritten))
+					if err := k.Run(r.v, vrp); err != nil {
+						b.Fatal(err)
+					}
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if err := k.Run(r.v, vrp); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		})
+	}
+}
