@@ -82,6 +82,20 @@ func run(dir, metric string, top int, groupby, speedupBase string, tree int, exp
 		fmt.Printf("campaign manifest: %d specs recorded (%d done, %d failed)\n",
 			len(man.Entries), done, failed)
 	}
+	// Distributed campaigns leave one WAL per fabric worker; summarize
+	// each shard's share of the work and attempts so load skew and
+	// retry-heavy workers are visible at a glance.
+	if shards, err := campaign.ShardSummaries(dir); err == nil && len(shards) > 0 {
+		fmt.Printf("fabric shards: %d workers journaled outcomes\n", len(shards))
+		for _, s := range shards {
+			line := fmt.Sprintf("  shard %d: %d specs, %d attempts (%d done, %d failed)",
+				s.Shard, s.Records, s.Attempts, s.Done, s.Failed)
+			if s.Torn > 0 {
+				line += fmt.Sprintf(", %d torn lines", s.Torn)
+			}
+			fmt.Println(line)
+		}
+	}
 	fmt.Printf("composed %d profiles, %d rows, %d nodes\n",
 		tk.NumProfiles(), tk.NumRows(), len(tk.Nodes()))
 	fmt.Printf("machines: %v\n", tk.MetadataColumn("machine"))

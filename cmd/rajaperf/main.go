@@ -20,10 +20,11 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"os"
+	"os/exec"
 	"os/signal"
 	"path/filepath"
 	"runtime/pprof"
@@ -33,6 +34,7 @@ import (
 
 	"rajaperf/internal/caliper"
 	"rajaperf/internal/campaign"
+	"rajaperf/internal/fabric"
 	"rajaperf/internal/kernels"
 	"rajaperf/internal/machine"
 	"rajaperf/internal/raja"
@@ -81,6 +83,13 @@ func realMain() int {
 		jobs      = flag.Int("jobs", 1, "concurrent runs in a campaign (each on its own executor pool)")
 		resume    = flag.Bool("resume", false, "skip campaign specs whose recorded profile exists and validates (runs crash recovery first)")
 
+		// Distributed fabric: -fabric N forks N local worker processes and
+		// shards the campaign across them; -worker-of/-worker-shard are the
+		// internal worker-mode entry those forks use.
+		fabricN     = flag.Int("fabric", 0, "run the campaign distributed: fork this many local worker processes and shard specs across them (implies -campaign concurrency)")
+		workerOf    = flag.String("worker-of", "", "internal: run as a fabric worker dialing this coordinator address")
+		workerShard = flag.Int("worker-shard", 0, "internal: this fabric worker's shard index")
+
 		// Resilience: deterministic fault injection and the machinery that
 		// absorbs faults — retry with backoff, run watchdogs, a circuit
 		// breaker over repeat offenders.
@@ -91,7 +100,7 @@ func realMain() int {
 		breaker     = flag.Int("breaker", 0, "open a (kernel set, variant) circuit after this many consecutive non-transient failures, skipping its remaining specs (0 = off)")
 		traceOut    = flag.String("trace", "", "write a Chrome-trace JSON event trace to this path (enables the trace service)")
 		cpuprof     = flag.String("pprof", "", "write a CPU profile of the run to this path")
-		pprofSrv    = flag.String("pprof-http", "", "deprecated alias for -metrics-addr (one release of compatibility; prints a warning)")
+		pprofSrv    = flag.String("pprof-http", "", "removed: serve the telemetry plane (including /debug/pprof) with -metrics-addr")
 
 		// Telemetry plane: live HTTP exposition plus periodic flushing of
 		// registry deltas into the output directory as telemetry profiles.
@@ -109,6 +118,21 @@ func realMain() int {
 	// scaling studies alike — dispatches through the shared persistent
 	// worker pool; release its workers on the way out.
 	defer raja.Default().Close()
+
+	// Fabric worker mode: this process is one shard of a distributed
+	// campaign, forked by a coordinating rajaperf -fabric run. It skips
+	// every other mode — the coordinator owns planning, telemetry
+	// exposition, and reporting; the worker just executes assigned specs
+	// until told bye.
+	if *workerOf != "" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		if err := fabric.RunWorker(ctx, *workerOf, *workerShard); err != nil {
+			fmt.Fprintln(os.Stderr, "rajaperf:", err)
+			return 1
+		}
+		return 0
+	}
 
 	sched, ok := raja.ParseSchedule(*schedule)
 	if !ok {
@@ -157,8 +181,13 @@ func realMain() int {
 	// the old -pprof-http ListenAndServe), and the periodic snapshotter.
 	raja.Default().EnableTelemetry(nil)
 	bus := new(telemetry.Bus)
+	teleAddr, err := resolveMetricsAddr(*metricsAddr, *pprofSrv)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rajaperf:", err)
+		return 2
+	}
 	_, teleStop, err := telemetry.Boot(telemetry.BootOptions{
-		Addr:       resolveMetricsAddr(*metricsAddr, *pprofSrv, os.Stderr),
+		Addr:       teleAddr,
 		Bus:        bus,
 		FlushDir:   *outdir,
 		FlushEvery: *teleInterval,
@@ -177,6 +206,12 @@ func realMain() int {
 		return 0
 	}
 	if *campaignF {
+		outdirSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "outdir" {
+				outdirSet = true
+			}
+		})
 		code, err := runCampaign(campaignArgs{
 			machines: orDefault(*machines, *machName), variants: *variants,
 			blocks: *blocks, sizes: orDefault(*sizes, strconv.Itoa(*size)),
@@ -186,6 +221,7 @@ func realMain() int {
 			execute: *execute, outdir: *outdir, jobs: *jobs, resume: *resume,
 			maxAttempts: *maxAttempts, runTimeout: *runTimeout,
 			stallTimeout: *stallT, breaker: *breaker, faults: inj,
+			faultSpec: *faults, fabric: *fabricN, outdirSet: outdirSet,
 			bus: bus,
 		})
 		if err != nil {
@@ -239,6 +275,16 @@ type campaignArgs struct {
 	runTimeout, stallTimeout time.Duration
 	breaker                  int
 	faults                   *resilience.Injector
+	// faultSpec is the raw -faults string: the fabric forwards it to each
+	// worker, which seeds its own injector from it.
+	faultSpec string
+	// fabric > 0 runs the campaign distributed across that many forked
+	// local worker processes.
+	fabric int
+	// outdirSet records whether -outdir was given explicitly: the fabric
+	// refuses to run against the flag's "." default, which would litter
+	// the working directory with shard WALs and profiles.
+	outdirSet bool
 
 	// bus is the process event bus: the campaign publishes its progress
 	// here, and both the CLI printer below and any /events SSE client
@@ -293,7 +339,7 @@ func runCampaign(a campaignArgs) (int, error) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	res, err := campaign.Run(ctx, plan, campaign.Options{
+	opts := campaign.Options{
 		OutDir:       a.outdir,
 		Workers:      a.jobs,
 		Resume:       a.resume,
@@ -304,7 +350,64 @@ func runCampaign(a campaignArgs) (int, error) {
 		Faults:       a.faults,
 		Bus:          a.bus,
 		Campaign:     a.outdir,
-	})
+	}
+
+	// Distributed mode: stand up the coordinator, fork the worker fleet,
+	// rendezvous, and hand the coordinator to the orchestrator as its
+	// execution backend. The orchestrator's concurrency matches the fleet
+	// (capacity one spec in flight per worker).
+	var coord *fabric.Coordinator
+	var workerCmds []*exec.Cmd
+	if a.fabric > 0 {
+		if a.outdir == "" || !a.outdirSet {
+			return 2, errors.New("-fabric requires -outdir (workers stream profiles and shard WALs there)")
+		}
+		coord, err = fabric.NewCoordinator(fabric.Config{
+			Workers: a.fabric,
+			Worker: fabric.WorkerConfig{
+				OutDir:       a.outdir,
+				MaxAttempts:  a.maxAttempts,
+				RunTimeout:   a.runTimeout,
+				StallTimeout: a.stallTimeout,
+				Faults:       a.faultSpec,
+			},
+			Bus:      a.bus,
+			Campaign: a.outdir,
+		})
+		if err != nil {
+			return 1, err
+		}
+		defer coord.Close()
+		if workerCmds, err = spawnWorkers(coord.Addr(), a.fabric); err != nil {
+			return 1, err
+		}
+		defer reapWorkers(workerCmds)
+		waitCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		err = coord.AwaitReady(waitCtx)
+		cancel()
+		if err != nil {
+			return 1, err
+		}
+		log.Info("fabric ready", "workers", a.fabric, "addr", coord.Addr())
+		opts.Executor = coord
+		opts.Workers = a.fabric
+	}
+
+	res, err := campaign.Run(ctx, plan, opts)
+	if coord != nil {
+		// Dismiss the fleet (bye frames), reap the forked workers, then
+		// fold their shard WALs into the root manifest — the merge is
+		// byte-deterministic regardless of worker completion order.
+		coord.Close()
+		reapWorkers(workerCmds)
+		workerCmds = nil
+		if _, applied, ferr := campaign.FinalizeShards(a.outdir); ferr != nil {
+			log.Error("fabric: shard WAL merge failed", "err", ferr)
+		} else {
+			log.Info("fabric finished", "steals", coord.Steals(),
+				"redispatched", coord.Redispatches(), "shard_entries_merged", applied)
+		}
+	}
 	printerDone()
 	if res != nil {
 		if rep := res.Recovered; rep != nil && !rep.Empty() {
@@ -378,18 +481,59 @@ func watchProgress(bus *telemetry.Bus, log *telemetry.Logger) func() {
 	}
 }
 
-// resolveMetricsAddr returns the telemetry listen address, honoring the
-// deprecated -pprof-http flag as a one-release compatibility alias for
-// -metrics-addr. Using the alias warns on w; when both are set,
-// -metrics-addr wins silently.
-func resolveMetricsAddr(metricsAddr, pprofHTTP string, w io.Writer) string {
-	if metricsAddr != "" {
-		return metricsAddr
-	}
+// resolveMetricsAddr returns the telemetry listen address. The old
+// -pprof-http flag served its one release as a deprecated alias and is
+// now removed: setting it is an error that names the replacement, so a
+// stale script fails loudly at startup instead of silently serving
+// nothing.
+func resolveMetricsAddr(metricsAddr, pprofHTTP string) (string, error) {
 	if pprofHTTP != "" {
-		fmt.Fprintln(w, "rajaperf: -pprof-http is deprecated and will be removed in the next release; use -metrics-addr")
+		return "", errors.New("-pprof-http was removed; serve the telemetry plane (including /debug/pprof) with -metrics-addr")
 	}
-	return pprofHTTP
+	return metricsAddr, nil
+}
+
+// spawnWorkers forks n fabric worker processes of this same binary, each
+// dialing the coordinator with its shard index. Worker stderr passes
+// through, so a worker's failure diagnostics reach the operator.
+func spawnWorkers(addr string, n int) ([]*exec.Cmd, error) {
+	bin, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("fabric: locate worker binary: %w", err)
+	}
+	cmds := make([]*exec.Cmd, 0, n)
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(bin, "-worker-of", addr, "-worker-shard", strconv.Itoa(i), "-quiet")
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			reapWorkers(cmds)
+			return nil, fmt.Errorf("fabric: start worker %d: %w", i, err)
+		}
+		cmds = append(cmds, cmd)
+	}
+	return cmds, nil
+}
+
+// reapWorkers waits for forked workers to exit (they do, once the
+// coordinator says bye or their connection drops), escalating to SIGKILL
+// after a grace period. Idempotent: safe to call on already-reaped
+// commands.
+func reapWorkers(cmds []*exec.Cmd) {
+	for _, cmd := range cmds {
+		done := make(chan struct{})
+		go func(c *exec.Cmd) {
+			defer close(done)
+			c.Wait()
+		}(cmd)
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			if cmd.Process != nil {
+				cmd.Process.Kill()
+			}
+			<-done
+		}
+	}
 }
 
 // orDefault returns s, or def when s is empty.

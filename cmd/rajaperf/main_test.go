@@ -8,33 +8,33 @@ import (
 )
 
 func TestResolveMetricsAddr(t *testing.T) {
-	t.Run("metrics-addr wins", func(t *testing.T) {
-		var w strings.Builder
-		got := resolveMetricsAddr("localhost:6060", "localhost:7070", &w)
+	t.Run("metrics-addr passes through", func(t *testing.T) {
+		got, err := resolveMetricsAddr("localhost:6060", "")
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
 		if got != "localhost:6060" {
 			t.Fatalf("got %q, want -metrics-addr value", got)
 		}
-		if w.Len() != 0 {
-			t.Fatalf("unexpected warning when -metrics-addr set: %q", w.String())
+	})
+	t.Run("pprof-http is a removal error", func(t *testing.T) {
+		_, err := resolveMetricsAddr("", "localhost:7070")
+		if err == nil {
+			t.Fatal("removed -pprof-http must error")
+		}
+		if !strings.Contains(err.Error(), "removed") || !strings.Contains(err.Error(), "-metrics-addr") {
+			t.Fatalf("error must name the removal and the replacement, got %q", err)
 		}
 	})
-	t.Run("pprof-http aliases with warning", func(t *testing.T) {
-		var w strings.Builder
-		got := resolveMetricsAddr("", "localhost:7070", &w)
-		if got != "localhost:7070" {
-			t.Fatalf("got %q, want alias value", got)
-		}
-		if !strings.Contains(w.String(), "deprecated") {
-			t.Fatalf("alias use must warn, got %q", w.String())
+	t.Run("pprof-http errors even alongside metrics-addr", func(t *testing.T) {
+		if _, err := resolveMetricsAddr("localhost:6060", "localhost:7070"); err == nil {
+			t.Fatal("removed flag must error even when -metrics-addr is set")
 		}
 	})
 	t.Run("both empty", func(t *testing.T) {
-		var w strings.Builder
-		if got := resolveMetricsAddr("", "", &w); got != "" {
-			t.Fatalf("got %q, want empty", got)
-		}
-		if w.Len() != 0 {
-			t.Fatalf("unexpected warning: %q", w.String())
+		got, err := resolveMetricsAddr("", "")
+		if err != nil || got != "" {
+			t.Fatalf("got %q, %v; want empty, nil", got, err)
 		}
 	})
 }
@@ -61,5 +61,21 @@ func TestParseDispatchFlag(t *testing.T) {
 		if err != nil || got != c.want {
 			t.Errorf("ParseDispatch(%q) = %v, %v; want %v", c.in, got, err, c.want)
 		}
+	}
+}
+
+func TestFabricRequiresExplicitOutdir(t *testing.T) {
+	// -outdir defaults to ".", so the guard must key on whether the flag
+	// was given, not on the value: a fabric campaign against the default
+	// would scatter shard WALs and profiles over the working directory.
+	code, err := runCampaign(campaignArgs{
+		machines: "SPR-DDR", kernels: "Stream_TRIAD",
+		outdir: ".", outdirSet: false, fabric: 2,
+	})
+	if code != 2 || err == nil {
+		t.Fatalf("fabric without explicit -outdir: code %d, err %v; want 2 and an error", code, err)
+	}
+	if !strings.Contains(err.Error(), "-outdir") {
+		t.Fatalf("error must name -outdir, got %q", err)
 	}
 }

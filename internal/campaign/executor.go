@@ -1,0 +1,98 @@
+package campaign
+
+// The pluggable execution backend. The orchestrator (orchestrator.go)
+// owns planning, resume, retry-visible bookkeeping, the circuit breaker,
+// and the record layer; *how* one RunSpec turns into a terminal
+// SpecResult is the Executor's business. Two backends exist:
+//
+//   - LocalExecutor (this file): the classic in-process path — a private
+//     raja.Pool per attempt, retry with backoff, run watchdogs — exactly
+//     the semantics campaigns have always had. The orchestrator uses it
+//     when Options.Executor is nil.
+//   - fabric.Coordinator (internal/fabric): shards specs across worker
+//     processes over localhost TCP with work-stealing rebalancing,
+//     per-shard WALs, and failure-domain isolation. It satisfies this
+//     interface, so the orchestrator drives both identically.
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+)
+
+// Executor runs RunSpecs to terminal SpecResults on behalf of the
+// orchestrator. Implementations must be safe for concurrent Submit calls
+// up to the orchestrator's worker bound.
+type Executor interface {
+	// Submit executes one spec to a terminal result, blocking until the
+	// outcome is known. All failure modes collapse into the SpecResult;
+	// Submit never panics and never returns a zero Status.
+	Submit(ctx context.Context, spec RunSpec) SpecResult
+	// Heartbeat returns a monotone liveness counter aggregated across the
+	// backend's execution resources — local attempts here, remote worker
+	// heartbeats for the distributed fabric. Liveness monitors (watchdogs,
+	// operators scraping /metrics) sample it; the absolute value is
+	// meaningless, only advancement matters.
+	Heartbeat() int64
+	// Steals counts specs the backend rebalanced away from their home
+	// execution resource (always 0 in-process; work-stealing fabric
+	// backends report their rebalancing here).
+	Steals() int64
+	// Close releases backend resources after the campaign finishes. The
+	// orchestrator closes only executors it created itself; a caller who
+	// passes Options.Executor owns its lifecycle.
+	Close() error
+}
+
+// LocalExecutor is the in-process execution backend: each Submit drives
+// one spec through the retry/watchdog attempt loop on a private executor
+// pool, writing its profile to Options.OutDir. It is the orchestrator's
+// default backend and the engine a fabric worker process runs behind its
+// shard of a distributed campaign.
+type LocalExecutor struct {
+	lanes int
+	opts  Options
+	tele  *campaignTele
+	beats atomic.Int64
+}
+
+// NewLocalExecutor builds an in-process executor from the campaign
+// options that govern execution: OutDir, Retry, RunTimeout, StallTimeout,
+// Grace, Faults, Retain, and Metrics. PoolLanes sets each run's private
+// pool size (0 = NumCPU/Workers, floor 1, matching the orchestrator's
+// derivation).
+func NewLocalExecutor(opts Options) *LocalExecutor {
+	workers := max(opts.Workers, 1)
+	lanes := opts.PoolLanes
+	if lanes <= 0 {
+		lanes = max(1, runtime.NumCPU()/workers)
+	}
+	return newLocalExecutor(lanes, opts, newCampaignTele(opts.Metrics))
+}
+
+// newLocalExecutor is the orchestrator's constructor: it shares the
+// campaign's already-resolved telemetry handles and lane derivation.
+func newLocalExecutor(lanes int, opts Options, tele *campaignTele) *LocalExecutor {
+	return &LocalExecutor{lanes: lanes, opts: opts, tele: tele}
+}
+
+// Submit runs one spec through the retry loop: behavior-identical to the
+// pre-Executor orchestrator, which called this path directly.
+func (e *LocalExecutor) Submit(ctx context.Context, spec RunSpec) SpecResult {
+	e.beats.Add(1)
+	sr := runSpec(ctx, spec, e.lanes, e.opts, e.tele)
+	e.beats.Add(1)
+	return sr
+}
+
+// Heartbeat counts submissions and completions — a coarse liveness
+// signal; per-attempt liveness is the per-run watchdog's job (runAttempt
+// samples pool granules and kernel boundaries directly).
+func (e *LocalExecutor) Heartbeat() int64 { return e.beats.Load() }
+
+// Steals is always zero: in-process execution has no shards to rebalance.
+func (e *LocalExecutor) Steals() int64 { return 0 }
+
+// Close is a no-op; per-attempt pools are created and closed inside each
+// Submit.
+func (e *LocalExecutor) Close() error { return nil }

@@ -1,0 +1,78 @@
+package campaign
+
+// Edge cases of the Include/Exclude spec filters: the glob-with-
+// substring-fallback contract of matchSpec, and how Plan.keep composes
+// the two lists. Pinned because operators type these patterns on the
+// command line, where a silently-empty campaign is the failure mode.
+
+import "testing"
+
+func TestMatchSpecEdges(t *testing.T) {
+	const id = "SPR-DDR_RAJA_Seq_default_n10000_default"
+	cases := []struct {
+		name    string
+		pattern string
+		want    bool
+	}{
+		// An empty pattern is no filter at all: the glob matches nothing,
+		// but the substring fallback ("" is a substring of everything)
+		// keeps every spec — so `-include ""` behaves like no -include.
+		{"empty pattern matches everything", "", true},
+		// Stars on both ends: plain glob semantics over the full ID.
+		{"star both ends", "*RAJA_Seq*", true},
+		{"star both ends no match", "*RAJA_GPU*", false},
+		// A glob that anchors mid-ID fails as a glob (path.Match is
+		// whole-string) but still matches as a substring.
+		{"bare substring", "RAJA_Seq", true},
+		{"substring of machine", "SPR", true},
+		// Matching is case-sensitive in both modes: machine shorthands
+		// and variant names are canonical-case identifiers.
+		{"case sensitive substring", "spr-ddr", false},
+		{"case sensitive glob", "*raja_seq*", false},
+		// A malformed glob (unclosed character class) never panics; it
+		// falls back to substring matching of the raw pattern.
+		{"malformed glob falls back", "[RAJA", false},
+		{"malformed glob substring hit", "SPR-DDR_[RAJA", false},
+		// Single-char wildcard and classes behave as path.Match.
+		{"question mark", "SPR-DD?_RAJA_Seq_default_n10000_default", true},
+		{"char class", "SPR-DDR_RAJA_S[ef]q_default_n10000_default", true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := matchSpec(c.pattern, id); got != c.want {
+				t.Fatalf("matchSpec(%q, %q) = %v, want %v", c.pattern, id, got, c.want)
+			}
+		})
+	}
+}
+
+func TestKeepComposition(t *testing.T) {
+	const id = "SPR-DDR_RAJA_Seq_default_n10000_default"
+	cases := []struct {
+		name             string
+		include, exclude []string
+		want             bool
+	}{
+		{"no filters keeps", nil, nil, true},
+		// Empty-string include keeps everything (substring fallback) —
+		// same as no include list.
+		{"empty include pattern keeps", []string{""}, nil, true},
+		// Exclude always wins over include.
+		{"exclude beats include", []string{"*SPR-DDR*"}, []string{"*RAJA_Seq*"}, false},
+		// An empty-string exclude pattern drops everything: the substring
+		// fallback matches every ID. Documented sharp edge.
+		{"empty exclude pattern drops", nil, []string{""}, false},
+		{"include star both ends", []string{"*n10000*"}, nil, true},
+		{"include misses", []string{"*n99999*"}, nil, false},
+		{"case sensitive include misses", []string{"*spr*"}, nil, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := Plan{Include: c.include, Exclude: c.exclude}
+			if got := p.keep(id); got != c.want {
+				t.Fatalf("keep(%q) with include=%v exclude=%v = %v, want %v",
+					id, c.include, c.exclude, got, c.want)
+			}
+		})
+	}
+}

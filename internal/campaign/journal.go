@@ -142,17 +142,17 @@ func (j *journal) Close() error {
 	return j.f.Close()
 }
 
-// replayJournal merges the directory's journal (if any) into m. It
-// returns how many records applied and how many lines were torn or
-// unparsable (skipped). Only I/O errors are fatal; a damaged tail is the
-// expected crash artifact, not corruption.
-func replayJournal(dir string, m *Manifest) (applied, torn int, err error) {
-	f, err := os.Open(JournalPath(dir))
+// readWALRecords reads every replayable record of one journal file in
+// append order, counting torn or unparsable lines (skipped) separately.
+// A missing file yields no records and no error; only I/O errors are
+// fatal — a damaged tail is the expected crash artifact, not corruption.
+func readWALRecords(path string) (recs []walRecord, torn int, err error) {
+	f, err := os.Open(path)
 	if os.IsNotExist(err) {
-		return 0, 0, nil
+		return nil, 0, nil
 	}
 	if err != nil {
-		return 0, 0, fmt.Errorf("campaign: %w", err)
+		return nil, 0, fmt.Errorf("campaign: %w", err)
 	}
 	defer f.Close()
 	sc := bufio.NewScanner(f)
@@ -167,13 +167,26 @@ func replayJournal(dir string, m *Manifest) (applied, torn int, err error) {
 			torn++
 			continue
 		}
-		m.Entries[rec.ID] = rec.Entry
-		applied++
+		recs = append(recs, rec)
 	}
 	if err := sc.Err(); err != nil {
-		return applied, torn, fmt.Errorf("campaign: journal read: %w", err)
+		return recs, torn, fmt.Errorf("campaign: journal read: %w", err)
 	}
-	return applied, torn, nil
+	return recs, torn, nil
+}
+
+// replayJournal merges the directory's journal (if any) into m. It
+// returns how many records applied and how many lines were torn or
+// unparsable (skipped).
+func replayJournal(dir string, m *Manifest) (applied, torn int, err error) {
+	recs, torn, err := readWALRecords(JournalPath(dir))
+	if err != nil {
+		return 0, torn, err
+	}
+	for _, rec := range recs {
+		m.Entries[rec.ID] = rec.Entry
+	}
+	return len(recs), torn, nil
 }
 
 // RecoveryReport describes what Recover found and repaired in a campaign
@@ -185,6 +198,12 @@ type RecoveryReport struct {
 	// JournalTorn counts torn or unparsable journal lines skipped (at
 	// most the tail record of each crash).
 	JournalTorn int
+	// ShardApplied counts manifest entries changed by merging the
+	// per-shard WALs of a distributed campaign (0 when the campaign
+	// never ran distributed).
+	ShardApplied int
+	// ShardTorn counts torn or unparsable shard WAL lines skipped.
+	ShardTorn int
 	// TempRemoved lists stale temp files (interrupted atomic writes)
 	// swept, relative to the directory.
 	TempRemoved []string
@@ -196,6 +215,7 @@ type RecoveryReport struct {
 // Empty reports whether recovery found nothing to repair.
 func (r *RecoveryReport) Empty() bool {
 	return r == nil || (r.JournalApplied == 0 && r.JournalTorn == 0 &&
+		r.ShardApplied == 0 && r.ShardTorn == 0 &&
 		len(r.TempRemoved) == 0 && len(r.Quarantined) == 0)
 }
 
@@ -204,8 +224,12 @@ func (r *RecoveryReport) String() string {
 	if r.Empty() {
 		return ""
 	}
-	return fmt.Sprintf("replayed %d journaled updates (%d torn), removed %d temp files, quarantined %d profiles",
+	s := fmt.Sprintf("replayed %d journaled updates (%d torn), removed %d temp files, quarantined %d profiles",
 		r.JournalApplied, r.JournalTorn, len(r.TempRemoved), len(r.Quarantined))
+	if r.ShardApplied > 0 || r.ShardTorn > 0 {
+		s += fmt.Sprintf(", merged %d shard WAL entries (%d torn)", r.ShardApplied, r.ShardTorn)
+	}
+	return s
 }
 
 // Recover brings a campaign directory back to a consistent state after a
@@ -252,6 +276,15 @@ func Recover(dir string) (*Manifest, *RecoveryReport, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	// 2b. Per-shard WALs: outcomes a distributed campaign's workers
+	// journaled that never reached the coordinator's root journal (a
+	// worker killed between its WAL append and its result frame, or a
+	// coordinator killed before recording). Shard WALs are merged, never
+	// truncated — they remain the per-shard attempt history.
+	rep.ShardApplied, rep.ShardTorn, err = MergeShardWALs(dir, man)
+	if err != nil {
+		return nil, nil, err
+	}
 
 	// 3. Quarantine undecodable profiles (a torn write that beat the
 	// rename, or the profile.corrupt fault). Resume re-runs their specs:
@@ -275,7 +308,7 @@ func Recover(dir string) (*Manifest, *RecoveryReport, error) {
 	sort.Strings(rep.Quarantined)
 
 	// 4. Compact, so the next crash replays only its own journal.
-	if rep.JournalApplied > 0 || rep.JournalTorn > 0 {
+	if rep.JournalApplied > 0 || rep.JournalTorn > 0 || rep.ShardApplied > 0 {
 		if err := man.Write(dir); err != nil {
 			return nil, nil, err
 		}

@@ -52,17 +52,21 @@ func NewManifest() *Manifest {
 func ManifestPath(dir string) string { return filepath.Join(dir, ManifestName) }
 
 // LoadManifest reads the manifest of a campaign directory: the base
-// checkpoint plus any write-ahead journal records newer than it (see
-// journal.go), so readers observe every spec outcome that reached its
-// durability point even after a crash. A missing file is not an error:
-// it returns an empty manifest, so fresh and resumed campaigns share one
-// code path.
+// checkpoint, plus any write-ahead journal records newer than it (see
+// journal.go), plus the per-shard WALs a distributed campaign's workers
+// journal (shard.go) — so readers observe every spec outcome that
+// reached *any* durability point even after a crash of the coordinator
+// or a worker. A missing file is not an error: it returns an empty
+// manifest, so fresh and resumed campaigns share one code path.
 func LoadManifest(dir string) (*Manifest, error) {
 	m, err := loadBaseManifest(dir)
 	if err != nil {
 		return nil, err
 	}
 	if _, _, err := replayJournal(dir, m); err != nil {
+		return nil, err
+	}
+	if _, _, err := MergeShardWALs(dir, m); err != nil {
 		return nil, err
 	}
 	return m, nil

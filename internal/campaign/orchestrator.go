@@ -1,12 +1,17 @@
 package campaign
 
 // The execute layer: a bounded worker pool of campaign workers, each
-// pulling specs off a shared feed and driving them through
-// suite.RunContext. Every in-flight run owns a private raja.Pool sized to
+// pulling specs off a shared feed and submitting them to the campaign's
+// execution backend (Executor, executor.go). The default backend is the
+// in-process LocalExecutor, which drives each spec through
+// suite.RunContext: every in-flight run owns a private raja.Pool sized to
 // its share of the machine, so concurrently executing kernels never
 // contend for executor lanes; fault isolation is two-level (a failing
 // kernel is recorded inside its profile by the suite layer, a failing run
 // is recorded in the manifest by this layer and the campaign continues).
+// A distributed campaign swaps in fabric.Coordinator via
+// Options.Executor; the orchestrator's planning, resume, breaker, and
+// record semantics are backend-independent.
 //
 // On top of that isolation sits the resilience layer:
 //
@@ -114,6 +119,15 @@ type Options struct {
 	// run stack (resilience.ParseFaults). Nil — the production value —
 	// injects nothing.
 	Faults *resilience.Injector
+
+	// Executor is the execution backend Submit()ing each spec. Nil — the
+	// default — executes in-process (LocalExecutor) with the retry,
+	// watchdog, and record semantics above. A non-nil Executor (e.g. the
+	// distributed fabric coordinator) is owned by the caller: the
+	// orchestrator drives it but never closes it, and the per-spec
+	// execution options (Retry, timeouts, Faults, OutDir) are the
+	// backend's to honor — the fabric forwards them to its workers.
+	Executor Executor
 
 	// Metrics is the registry campaign metrics record into (nil =
 	// telemetry.Default(), the registry the CLIs expose on /metrics).
@@ -377,6 +391,15 @@ func Run(ctx context.Context, plan Plan, opts Options) (*Result, error) {
 	}
 	br := resilience.NewBreaker(opts.Breaker)
 
+	// The execution backend: the caller's (distributed fabric, a test
+	// double) or the default in-process executor sharing this campaign's
+	// telemetry handles. The orchestrator feeds it; it owns how a spec
+	// becomes a result.
+	exec := opts.Executor
+	if exec == nil {
+		exec = newLocalExecutor(lanes, opts, tele)
+	}
+
 	feed := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -399,7 +422,7 @@ func Run(ctx context.Context, plan Plan, opts Options) (*Result, error) {
 					Total: len(specs),
 				})
 				tele.inFlight.Add(1)
-				sr := runSpec(ctx, spec, lanes, opts, tele)
+				sr := exec.Submit(ctx, spec)
 				tele.inFlight.Add(-1)
 				switch sr.Status {
 				case StatusDone:

@@ -13,10 +13,12 @@ import (
 	"reflect"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 
 	"rajaperf/internal/caliper"
 	"rajaperf/internal/kernels"
+	"rajaperf/internal/resilience"
 )
 
 // faultyKernel always fails its Run; campaigns over it must still record
@@ -331,5 +333,187 @@ func TestCampaignCancellation(t *testing.T) {
 	}
 	if len(files) != 4 {
 		t.Errorf("campaign dir holds %d profiles, want 4", len(files))
+	}
+}
+
+// stubExecutor is a scripted execution backend: it returns canned
+// results without running anything, so the seam tests observe exactly
+// what the orchestrator does around Options.Executor — which specs it
+// submits, how it books the results, when the breaker short-circuits
+// submission, and that it never closes a backend it does not own.
+type stubExecutor struct {
+	outcome func(RunSpec) SpecResult
+
+	mu      sync.Mutex
+	submits []string
+	closes  int
+}
+
+func (s *stubExecutor) Submit(_ context.Context, spec RunSpec) SpecResult {
+	s.mu.Lock()
+	s.submits = append(s.submits, spec.ID())
+	s.mu.Unlock()
+	sr := s.outcome(spec)
+	sr.Spec = spec
+	return sr
+}
+
+func (s *stubExecutor) Heartbeat() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int64(len(s.submits))
+}
+
+func (s *stubExecutor) Steals() int64 { return 0 }
+
+func (s *stubExecutor) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closes++
+	return nil
+}
+
+func seamPlan() Plan {
+	return Plan{
+		Machines: []string{"SPR-DDR", "SPR-HBM"},
+		Variants: []string{"RAJA_Seq", "RAJA_OpenMP"},
+		Sizes:    []int{10_000},
+		Kernels:  []string{"Stream_TRIAD"},
+		Execute:  true,
+	}
+}
+
+// TestExecutorSeam drives the orchestrator against a caller-provided
+// backend: every spec must be submitted exactly once, canned results
+// must land in Result and the manifest verbatim (status, attempts,
+// error, file), a transient failure must not trip the breaker, and the
+// caller-owned executor must never be closed by the orchestrator.
+func TestExecutorSeam(t *testing.T) {
+	dir := t.TempDir()
+	plan := seamPlan()
+	specs, err := plan.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 4 {
+		t.Fatalf("seam plan expands to %d specs, want 4", len(specs))
+	}
+	flaky := specs[2].ID()
+
+	stub := &stubExecutor{outcome: func(s RunSpec) SpecResult {
+		if s.ID() == flaky {
+			return SpecResult{
+				Status:   StatusFailed,
+				Err:      resilience.MarkTransient(errors.New("worker lost")),
+				Attempts: 2,
+			}
+		}
+		return SpecResult{
+			Status:   StatusDone,
+			Path:     filepath.Join(dir, s.ID()+caliper.FileExt),
+			Attempts: 1,
+		}
+	}}
+
+	res, err := Run(context.Background(), plan, Options{
+		OutDir:   dir,
+		Workers:  2,
+		Breaker:  1, // must NOT trip: the one failure is transient
+		Executor: stub,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Done != 3 || res.Failed != 1 || res.Skipped != 0 {
+		t.Fatalf("done %d failed %d skipped %d, want 3/1/0",
+			res.Done, res.Failed, res.Skipped)
+	}
+
+	// Every spec reached the backend exactly once — a transient failure
+	// must leave the breaker closed, so nothing was skipped pre-submit.
+	stub.mu.Lock()
+	submitted := append([]string(nil), stub.submits...)
+	closes := stub.closes
+	stub.mu.Unlock()
+	if len(submitted) != len(specs) {
+		t.Fatalf("backend saw %d submissions, want %d: %v",
+			len(submitted), len(specs), submitted)
+	}
+	seen := make(map[string]int, len(submitted))
+	for _, id := range submitted {
+		seen[id]++
+	}
+	for _, s := range specs {
+		if seen[s.ID()] != 1 {
+			t.Errorf("spec %s submitted %d times, want 1", s.ID(), seen[s.ID()])
+		}
+	}
+	if closes != 0 {
+		t.Errorf("orchestrator closed a caller-owned executor %d times", closes)
+	}
+
+	// Canned results flow through bookkeeping verbatim, in plan order.
+	for i, sr := range res.Specs {
+		if sr.Spec.ID() != specs[i].ID() {
+			t.Fatalf("result slot %d holds %s, want %s", i, sr.Spec.ID(), specs[i].ID())
+		}
+		if sr.Spec.ID() == flaky {
+			if sr.Status != StatusFailed || sr.Attempts != 2 || !resilience.IsTransient(sr.Err) {
+				t.Errorf("flaky spec recorded as %s/%d/%v", sr.Status, sr.Attempts, sr.Err)
+			}
+		} else if sr.Status != StatusDone || sr.Attempts != 1 {
+			t.Errorf("%s recorded as %s/%d, want done/1", sr.Spec.ID(), sr.Status, sr.Attempts)
+		}
+	}
+
+	// The record layer persisted the backend's outcomes.
+	man, err := LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done, failed := man.Counts(); done != 3 || failed != 1 {
+		t.Fatalf("manifest counts %d done %d failed, want 3/1", done, failed)
+	}
+	fe, ok := man.Entries[flaky]
+	if !ok {
+		t.Fatalf("manifest missing failed spec %s", flaky)
+	}
+	if fe.Attempts != 2 || !strings.Contains(fe.Error, "worker lost") {
+		t.Errorf("failed entry = %+v, want attempts 2 and the backend's error", fe)
+	}
+}
+
+// TestExecutorSeamBreakerSkips verifies the breaker sits orchestrator-
+// side of the seam: after a backend reports a non-transient failure for
+// a (kernels, variant) key, the orchestrator must skip that key's
+// remaining specs without submitting them at all.
+func TestExecutorSeamBreakerSkips(t *testing.T) {
+	plan := seamPlan() // 2 machines x 2 variants = 2 specs per breaker key
+	stub := &stubExecutor{outcome: func(s RunSpec) SpecResult {
+		return SpecResult{
+			Status:   StatusFailed,
+			Err:      errors.New("deterministic configuration error"),
+			Attempts: 1,
+		}
+	}}
+
+	res, err := Run(context.Background(), plan, Options{
+		Workers:  1, // serial, so the second spec of each key sees the open circuit
+		Breaker:  1,
+		Executor: stub,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 2 || res.Skipped != 2 {
+		t.Fatalf("failed %d skipped %d, want 2/2", res.Failed, res.Skipped)
+	}
+	if got := stub.Heartbeat(); got != 2 {
+		t.Errorf("backend saw %d submissions, want 2 (one per breaker key)", got)
+	}
+	for _, sr := range res.Specs {
+		if sr.Status == StatusSkipped && !strings.Contains(sr.Err.Error(), "circuit open") {
+			t.Errorf("skipped spec %s error = %v, want circuit-open", sr.Spec.ID(), sr.Err)
+		}
 	}
 }

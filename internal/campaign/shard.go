@@ -1,0 +1,302 @@
+package campaign
+
+// Per-shard write-ahead logs for distributed campaigns. A fabric worker
+// process owns shard N of a campaign and appends every terminal spec
+// outcome it produces to campaign_manifest.wal.shardN — its own
+// durability point, reached after the profile write and before the
+// result frame goes back to the coordinator. The coordinator's root
+// journal (journal.go) stays the authority for what the orchestrator
+// observed; the shard WALs exist for the two windows it cannot cover:
+//
+//   - a worker completes a spec and is killed before its result frame is
+//     read: the shard WAL has the outcome, so recovery does not re-run
+//     the spec even though the coordinator never saw it finish;
+//   - a spec is redispatched after a presumed-dead worker actually
+//     finished it: two shard WALs then hold records for the same spec
+//     ID, and the merge below reconciles them deterministically.
+//
+// Merge semantics (MergeShardWALs): for each spec ID, the winning record
+// is chosen by (done beats non-done, then more attempts, then higher
+// shard, then later append) — last-attempt-wins — and the merged entry's
+// Attempts is the SUM across all records, because each record's count is
+// one worker's local retry loop and the true cost of the spec is the
+// total. Merging is idempotent and order-independent, so
+// Manifest.Write after a merge is byte-identical regardless of worker
+// completion order (entries marshal sorted by spec ID).
+//
+// Shard WALs are never truncated by recovery or finalization: they are
+// the per-shard attempt history rajaperf-analyze summarizes, and
+// re-merging them is harmless by construction.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ShardJournalName returns the file name of shard N's write-ahead log
+// inside a campaign output directory, e.g. "campaign_manifest.wal.shard3".
+func ShardJournalName(shard int) string {
+	return fmt.Sprintf("%s.shard%d", JournalName, shard)
+}
+
+// ShardJournalPath returns shard N's journal location for a campaign
+// directory.
+func ShardJournalPath(dir string, shard int) string {
+	return filepath.Join(dir, ShardJournalName(shard))
+}
+
+// ShardJournal is one worker's open write-ahead log: the same
+// '\n'-prefixed fsynced JSON record discipline as the root journal, in a
+// per-shard file so concurrent worker processes never interleave writes.
+type ShardJournal struct {
+	j *journal
+}
+
+// OpenShardJournal opens (creating if needed) shard N's journal in dir
+// for appending, creating the directory first if necessary.
+func OpenShardJournal(dir string, shard int) (*ShardJournal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	f, err := os.OpenFile(ShardJournalPath(dir, shard), os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	return &ShardJournal{j: &journal{f: f}}, nil
+}
+
+// Append journals one terminal spec outcome and fsyncs it — the worker's
+// durability point for the spec. Safe on a nil receiver (campaigns
+// without an output directory journal nowhere).
+func (s *ShardJournal) Append(id string, e ManifestEntry) error {
+	if s == nil {
+		return nil
+	}
+	return s.j.Append(id, e, nil)
+}
+
+// Close closes the journal file. The file stays on disk: it is both the
+// recovery source and the analyzer's per-shard attempt history.
+func (s *ShardJournal) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.j.Close()
+}
+
+// shardRecord is one shard WAL record tagged with its provenance, for
+// deterministic conflict resolution.
+type shardRecord struct {
+	shard int
+	pos   int // append position within the shard WAL
+	entry ManifestEntry
+}
+
+// shardWALs lists the shard journal files present in dir, sorted by
+// shard index. Files whose suffix does not parse as an index are ignored
+// (they are not ours).
+func shardWALs(dir string) ([]int, error) {
+	des, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	prefix := JournalName + ".shard"
+	var shards []int
+	for _, de := range des {
+		if de.IsDir() || !strings.HasPrefix(de.Name(), prefix) {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimPrefix(de.Name(), prefix))
+		if err != nil || n < 0 {
+			continue
+		}
+		shards = append(shards, n)
+	}
+	sort.Ints(shards)
+	return shards, nil
+}
+
+// readShardRecords reads every record of every shard WAL in dir, grouped
+// by spec ID, plus the count of torn lines skipped.
+func readShardRecords(dir string) (map[string][]shardRecord, int, error) {
+	shards, err := shardWALs(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	byID := map[string][]shardRecord{}
+	torn := 0
+	for _, n := range shards {
+		recs, t, err := readWALRecords(ShardJournalPath(dir, n))
+		if err != nil {
+			return nil, torn, err
+		}
+		torn += t
+		for i, rec := range recs {
+			byID[rec.ID] = append(byID[rec.ID], shardRecord{shard: n, pos: i, entry: rec.Entry})
+		}
+	}
+	return byID, torn, nil
+}
+
+// mergeShardRecords reconciles all shard records for one spec ID:
+// last-attempt-wins for the entry fields, attempts summed across
+// records. recs must be non-empty.
+func mergeShardRecords(recs []shardRecord) ManifestEntry {
+	win := recs[0]
+	sum := 0
+	for i, r := range recs {
+		sum += r.entry.Attempts
+		if i == 0 {
+			continue
+		}
+		if beats(r, win) {
+			win = r
+		}
+	}
+	e := win.entry
+	e.Attempts = sum
+	return e
+}
+
+// beats reports whether shard record a wins over b: a successful outcome
+// beats any other, then the record that consumed more attempts, then the
+// higher shard, then the later append — a total, order-independent
+// order, so merging is deterministic no matter which worker finished
+// first.
+func beats(a, b shardRecord) bool {
+	ad, bd := a.entry.Status == StatusDone, b.entry.Status == StatusDone
+	if ad != bd {
+		return ad
+	}
+	if a.entry.Attempts != b.entry.Attempts {
+		return a.entry.Attempts > b.entry.Attempts
+	}
+	if a.shard != b.shard {
+		return a.shard > b.shard
+	}
+	return a.pos > b.pos
+}
+
+// MergeShardWALs folds every shard WAL in dir into m. The root
+// manifest's view stays authoritative where it is strictly newer — a
+// done root entry survives a non-done shard record — but shard records
+// fill specs the root never saw and lift Attempts to the cross-shard
+// sum. Returns how many entries changed and how many torn shard lines
+// were skipped. Idempotent: a second merge changes nothing.
+func MergeShardWALs(dir string, m *Manifest) (applied, torn int, err error) {
+	byID, torn, err := readShardRecords(dir)
+	if err != nil {
+		return 0, torn, err
+	}
+	ids := make([]string, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		merged := mergeShardRecords(byID[id])
+		root, ok := m.Entries[id]
+		switch {
+		case !ok:
+			m.Entries[id] = merged
+			applied++
+		case root.Status == StatusDone && merged.Status != StatusDone:
+			// The coordinator recorded a success no shard WAL holds (a
+			// redispatched spec whose first worker journaled a failure);
+			// keep the root entry, but account every attempt.
+			if merged.Attempts > root.Attempts {
+				root.Attempts = merged.Attempts
+				m.Entries[id] = root
+				applied++
+			}
+		default:
+			if merged.Attempts < root.Attempts {
+				merged.Attempts = root.Attempts
+			}
+			if !sameEntry(root, merged) {
+				applied++
+			}
+			m.Entries[id] = merged
+		}
+	}
+	return applied, torn, nil
+}
+
+// sameEntry compares the fields shard merging may change.
+func sameEntry(a, b ManifestEntry) bool {
+	return a.Status == b.Status && a.Attempts == b.Attempts &&
+		a.File == b.File && a.Error == b.Error && a.WallSec == b.WallSec
+}
+
+// FinalizeShards merges the shard WALs of a completed distributed
+// campaign into the root manifest on disk: base checkpoint + root
+// journal replay + shard merge, rewritten atomically when anything
+// changed. The fabric CLI calls it after campaign.Run returns; a crashed
+// coordinator reaches the same state through Recover, which performs the
+// identical merge.
+func FinalizeShards(dir string) (*Manifest, int, error) {
+	m, err := loadBaseManifest(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	if _, _, err := replayJournal(dir, m); err != nil {
+		return nil, 0, err
+	}
+	applied, _, err := MergeShardWALs(dir, m)
+	if err != nil {
+		return nil, 0, err
+	}
+	if applied > 0 {
+		if err := m.Write(dir); err != nil {
+			return nil, applied, err
+		}
+	}
+	return m, applied, nil
+}
+
+// ShardSummary aggregates one shard WAL for reporting: what this worker
+// ran, how many attempts it consumed, and how its runs ended.
+type ShardSummary struct {
+	Shard    int
+	Records  int // terminal outcomes journaled by this worker
+	Attempts int // run attempts consumed across those outcomes
+	Done     int
+	Failed   int // failed + timed_out + skipped
+	Torn     int // torn or unparsable lines skipped
+}
+
+// ShardSummaries reads the shard WALs of a campaign directory and
+// summarizes each — the per-shard attempt accounting rajaperf-analyze
+// prints. An empty slice means the campaign never ran distributed.
+func ShardSummaries(dir string) ([]ShardSummary, error) {
+	shards, err := shardWALs(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []ShardSummary
+	for _, n := range shards {
+		recs, torn, err := readWALRecords(ShardJournalPath(dir, n))
+		if err != nil {
+			return nil, err
+		}
+		s := ShardSummary{Shard: n, Records: len(recs), Torn: torn}
+		for _, r := range recs {
+			s.Attempts += r.Entry.Attempts
+			switch r.Entry.Status {
+			case StatusDone:
+				s.Done++
+			case StatusFailed, StatusTimedOut, StatusSkipped:
+				s.Failed++
+			}
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

@@ -1,0 +1,224 @@
+package campaign
+
+// Shard WAL semantics: the merge rules distributed campaigns depend on.
+// The scenarios mirror the fabric's failure windows — duplicate records
+// for one spec ID across two shard WALs (a redispatched spec whose
+// presumed-dead worker actually finished), outcomes the root journal
+// never saw, and the byte-determinism of the merged manifest regardless
+// of worker completion order.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func shardSpec(i byte) RunSpec {
+	return RunSpec{
+		Machine: "SPR-DDR", Variant: "RAJA_Seq", Size: 10_000 + int(i),
+		Schedule: "default",
+	}
+}
+
+func appendShard(t *testing.T, dir string, shard int, id string, e ManifestEntry) {
+	t.Helper()
+	j, err := OpenShardJournal(dir, shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(id, e); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardMergeDuplicateSpec: two shard WALs hold the same spec ID —
+// the killed worker journaled a failure, the redispatch target a
+// success. The merged entry takes the winning (done) record's fields
+// and sums the attempts across both records.
+func TestShardMergeDuplicateSpec(t *testing.T) {
+	dir := t.TempDir()
+	s := shardSpec(1)
+	id := s.ID()
+	appendShard(t, dir, 0, id, ManifestEntry{
+		Spec: s, Status: StatusFailed, Error: "worker died mid-spec", Attempts: 2,
+	})
+	appendShard(t, dir, 1, id, ManifestEntry{
+		Spec: s, Status: StatusDone, File: s.FileName(), WallSec: 1.5, Attempts: 1,
+	})
+
+	m := NewManifest()
+	applied, torn, err := MergeShardWALs(dir, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn != 0 || applied != 1 {
+		t.Fatalf("applied=%d torn=%d, want 1, 0", applied, torn)
+	}
+	e := m.Entries[id]
+	if e.Status != StatusDone || e.File != s.FileName() || e.Error != "" {
+		t.Fatalf("winner must be the done record, got %+v", e)
+	}
+	if e.Attempts != 3 {
+		t.Fatalf("attempts must sum across shard records, got %d, want 3", e.Attempts)
+	}
+
+	// Idempotent: a second merge changes nothing.
+	if applied, _, err = MergeShardWALs(dir, m); err != nil || applied != 0 {
+		t.Fatalf("re-merge applied=%d err=%v, want 0, nil", applied, err)
+	}
+}
+
+// TestShardMergeLastAttemptWins: both records are failures (no done
+// record to prefer) — the one that consumed more attempts is the later
+// state of the spec and wins the entry fields.
+func TestShardMergeLastAttemptWins(t *testing.T) {
+	dir := t.TempDir()
+	s := shardSpec(2)
+	id := s.ID()
+	appendShard(t, dir, 0, id, ManifestEntry{Spec: s, Status: StatusFailed, Error: "first", Attempts: 1})
+	appendShard(t, dir, 3, id, ManifestEntry{Spec: s, Status: StatusFailed, Error: "after retries", Attempts: 3})
+
+	m := NewManifest()
+	if _, _, err := MergeShardWALs(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	e := m.Entries[id]
+	if e.Error != "after retries" {
+		t.Fatalf("last attempt must win, got error %q", e.Error)
+	}
+	if e.Attempts != 4 {
+		t.Fatalf("attempts must sum, got %d, want 4", e.Attempts)
+	}
+}
+
+// TestShardMergeRootAuthority: a done root-manifest entry survives a
+// non-done shard record (the coordinator recorded the redispatched
+// success; the stale shard failure only lifts the attempt count).
+func TestShardMergeRootAuthority(t *testing.T) {
+	dir := t.TempDir()
+	s := shardSpec(3)
+	id := s.ID()
+	appendShard(t, dir, 1, id, ManifestEntry{Spec: s, Status: StatusFailed, Error: "stale", Attempts: 5})
+
+	m := NewManifest()
+	m.Entries[id] = ManifestEntry{Spec: s, Status: StatusDone, File: s.FileName(), Attempts: 1}
+	if _, _, err := MergeShardWALs(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	e := m.Entries[id]
+	if e.Status != StatusDone || e.File != s.FileName() {
+		t.Fatalf("done root entry must survive, got %+v", e)
+	}
+	if e.Attempts != 5 {
+		t.Fatalf("attempts must lift to the shard sum, got %d, want 5", e.Attempts)
+	}
+}
+
+// TestShardMergeByteDeterministic: Manifest.Write after FinalizeShards
+// is byte-identical no matter which order the workers' WALs recorded
+// their outcomes — the satellite guarantee that lets CI diff manifests
+// across fabric runs.
+func TestShardMergeByteDeterministic(t *testing.T) {
+	specs := []RunSpec{shardSpec(1), shardSpec(2), shardSpec(3), shardSpec(4)}
+	entry := func(s RunSpec, att int) ManifestEntry {
+		return ManifestEntry{Spec: s, Status: StatusDone, File: s.FileName(), WallSec: 0.25, Attempts: att}
+	}
+
+	// Two campaign directories, same outcomes, opposite completion order
+	// and opposite shard placement of the duplicated spec.
+	dirA, dirB := t.TempDir(), t.TempDir()
+	for i, s := range specs {
+		appendShard(t, dirA, i%2, s.ID(), entry(s, 1))
+	}
+	appendShard(t, dirA, 0, specs[3].ID(), entry(specs[3], 1)) // duplicate, shard 0
+	for i := len(specs) - 1; i >= 0; i-- {
+		appendShard(t, dirB, (i+1)%2, specs[i].ID(), entry(specs[i], 1))
+	}
+	appendShard(t, dirB, 1, specs[3].ID(), entry(specs[3], 1)) // duplicate, shard 1
+
+	for _, dir := range []string{dirA, dirB} {
+		if _, applied, err := FinalizeShards(dir); err != nil || applied == 0 {
+			t.Fatalf("FinalizeShards(%s): applied=%d err=%v", dir, applied, err)
+		}
+	}
+	a, err := os.ReadFile(ManifestPath(dirA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(ManifestPath(dirB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("merged manifests differ across completion orders:\nA:\n%s\nB:\n%s", a, b)
+	}
+
+	// Golden: the merged manifest's byte shape is pinned, so an
+	// accidental ordering or formatting change fails loudly.
+	golden := filepath.Join("testdata", "merged_manifest.golden.json")
+	want, err := os.ReadFile(golden)
+	if os.IsNotExist(err) {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, a, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote golden %s", golden)
+		return
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, want) {
+		t.Fatalf("merged manifest drifted from golden %s:\ngot:\n%s\nwant:\n%s", golden, a, want)
+	}
+}
+
+// TestRecoverMergesShardWALs: the existing Recover path is the fabric's
+// failure-domain recovery — outcomes only a worker's shard WAL holds
+// (killed between WAL append and result frame) surface in the recovered
+// manifest, and the torn tail of a shard WAL is skipped, not fatal.
+func TestRecoverMergesShardWALs(t *testing.T) {
+	dir := t.TempDir()
+	s := shardSpec(5)
+	appendShard(t, dir, 2, s.ID(), ManifestEntry{
+		Spec: s, Status: StatusFailed, Error: "oom", Attempts: 1,
+	})
+	// Torn tail: a partial record with no terminating newline, exactly
+	// what a kill-9 mid-append leaves.
+	f, err := os.OpenFile(ShardJournalPath(dir, 2), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("\n{\"id\":\"torn"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	man, rep, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ShardApplied != 1 || rep.ShardTorn != 1 {
+		t.Fatalf("report = %+v, want 1 shard entry applied, 1 torn", rep)
+	}
+	if e := man.Entries[s.ID()]; e.Status != StatusFailed || e.Error != "oom" {
+		t.Fatalf("recovered manifest missing shard outcome: %+v", e)
+	}
+	// The shard WAL survives recovery: it is the analyzer's history.
+	if _, err := os.Stat(ShardJournalPath(dir, 2)); err != nil {
+		t.Fatalf("shard WAL must survive recovery: %v", err)
+	}
+	sums, err := ShardSummaries(dir)
+	if err != nil || len(sums) != 1 {
+		t.Fatalf("ShardSummaries = %v, %v", sums, err)
+	}
+	if s := sums[0]; s.Shard != 2 || s.Records != 1 || s.Failed != 1 || s.Torn != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+}

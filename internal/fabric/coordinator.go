@@ -1,0 +1,580 @@
+package fabric
+
+// The coordinator: the campaign-side half of the fabric. It satisfies
+// campaign.Executor, so the orchestrator drives it exactly as it drives
+// the in-process backend — one blocking Submit per spec, bounded by the
+// orchestrator's worker pool. Inside, each submitted spec is queued on
+// its home shard (a stable hash of the spec ID), dispatched to that
+// shard's worker with capacity one in flight per worker, and stolen by
+// whichever worker goes idle first when its own queue drains — so a
+// skewed plan (all the slow specs hashing to one shard) still saturates
+// the fleet.
+//
+// Failure domains: each worker is monitored by a stall watchdog over
+// the heartbeat frames it sends (a SIGSTOP'd or wedged worker is
+// declared dead even while its TCP connection lingers) and by the read
+// loop (a kill-9'd worker's connection resets immediately). A dead
+// worker's in-flight spec — at most one, by the capacity discipline —
+// is requeued at the front of its home queue and redispatched to a
+// surviving worker; everything the dead worker already completed is
+// durable in its shard WAL and is never re-run. A per-worker circuit
+// breaker quarantines a worker that keeps producing non-transient
+// failures while its peers succeed (a sick sandbox, not a sick spec).
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rajaperf/internal/campaign"
+	"rajaperf/internal/resilience"
+	"rajaperf/internal/telemetry"
+)
+
+// errWorkerDone marks a worker monitor context canceled by clean
+// shutdown rather than by its watchdog.
+var errWorkerDone = errors.New("fabric: worker session ended")
+
+// Config configures a coordinator.
+type Config struct {
+	// Workers is the shard count: the fabric waits for exactly this many
+	// worker processes at rendezvous.
+	Workers int
+	// Addr is the TCP listen address (default "127.0.0.1:0" — loopback,
+	// ephemeral port; the fabric is deliberately single-host, see
+	// DESIGN.md).
+	Addr string
+	// Worker is the execution configuration handed to every worker in
+	// its welcome frame.
+	Worker WorkerConfig
+	// WorkerStall declares a worker dead when its heartbeat frames stop
+	// for this long (0 = 10s, <0 = disabled; the read loop still catches
+	// closed connections immediately).
+	WorkerStall time.Duration
+	// WorkerBreaker quarantines a worker after this many consecutive
+	// non-transient failures (0 = no per-worker breaker). Distinct from
+	// the orchestrator's (kernel set, variant) breaker: this one blames
+	// the worker, not the work.
+	WorkerBreaker int
+	// Assign overrides home-shard assignment (tests force skew to
+	// exercise stealing). Nil uses an FNV hash of the spec ID.
+	Assign func(id string, shards int) int
+
+	// Metrics receives the fabric.* series (nil = telemetry.Default()).
+	Metrics *telemetry.Registry
+	// Bus receives worker-lifecycle events (nil-safe).
+	Bus *telemetry.Bus
+	// Campaign is the identity stamped on bus events.
+	Campaign string
+}
+
+// item is one submitted spec waiting for, or holding, a worker.
+type item struct {
+	spec campaign.RunSpec
+	home int
+	res  chan campaign.SpecResult // buffered 1: delivery never blocks
+}
+
+// workerConn is one connected worker.
+type workerConn struct {
+	shard int
+	pid   int
+	conn  net.Conn
+
+	wmu sync.Mutex // serializes frame writes (FIFO discipline)
+
+	beat atomic.Int64 // last heartbeat counter received
+
+	// Guarded by Coordinator.mu.
+	inflight *item
+	dead     bool
+
+	cancel context.CancelCauseFunc // monitor context
+	wd     *resilience.Watchdog
+}
+
+// send writes one frame under the connection's writer lock.
+func (w *workerConn) send(f *frame) error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	return writeFrame(w.conn, f)
+}
+
+func (w *workerConn) name() string { return "shard" + strconv.Itoa(w.shard) }
+
+// Coordinator shards campaign specs across worker processes. Create
+// with NewCoordinator, pass as campaign Options.Executor, Close when
+// the campaign returns.
+type Coordinator struct {
+	cfg  Config
+	ln   net.Listener
+	tele *fabricTele
+
+	mu        sync.Mutex
+	workers   map[int]*workerConn // live workers by shard
+	queues    map[int][]*item     // pending items by home shard
+	connected int                 // workers ever connected (rendezvous)
+	closed    bool
+	failed    error // set when the whole fleet is gone
+
+	ready chan struct{} // closed when all Workers shards connected
+
+	beats        atomic.Int64 // frames received: the Executor heartbeat
+	steals       atomic.Int64
+	redispatches atomic.Int64
+
+	breakers *resilience.Breaker // per-worker, keyed "shardN"
+}
+
+// NewCoordinator starts listening and accepting workers. It returns
+// immediately; AwaitReady blocks until the fleet has rendezvoused.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("fabric: %d workers (need >= 1)", cfg.Workers)
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.WorkerStall == 0 {
+		cfg.WorkerStall = 10 * time.Second
+	}
+	if cfg.Worker.HeartbeatEvery <= 0 {
+		cfg.Worker.HeartbeatEvery = 250 * time.Millisecond
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: listen: %w", err)
+	}
+	c := &Coordinator{
+		cfg:      cfg,
+		ln:       ln,
+		tele:     newFabricTele(cfg.Metrics),
+		workers:  map[int]*workerConn{},
+		queues:   map[int][]*item{},
+		ready:    make(chan struct{}),
+		breakers: resilience.NewBreaker(cfg.WorkerBreaker),
+	}
+	go c.accept()
+	return c, nil
+}
+
+// Addr is the address workers dial ("127.0.0.1:port").
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// AwaitReady blocks until every shard's worker has said hello — the
+// rendezvous barrier. Call it before campaign.Run so no spec waits on a
+// fleet that never formed.
+func (c *Coordinator) AwaitReady(ctx context.Context) error {
+	select {
+	case <-c.ready:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("fabric: waiting for %d workers: %w", c.cfg.Workers, context.Cause(ctx))
+	}
+}
+
+// accept admits worker connections until the listener closes.
+func (c *Coordinator) accept() {
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		go c.admit(conn)
+	}
+}
+
+// admit performs the hello/welcome handshake and runs the worker's read
+// loop.
+func (c *Coordinator) admit(conn net.Conn) {
+	br := bufio.NewReader(conn)
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	f, err := readFrame(br)
+	if err != nil || f.Type != frameHello || f.Shard < 0 || f.Shard >= c.cfg.Workers {
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	w := &workerConn{shard: f.Shard, pid: f.PID, conn: conn}
+	c.mu.Lock()
+	if c.closed || c.workers[w.shard] != nil {
+		c.mu.Unlock()
+		conn.Close()
+		return
+	}
+	c.workers[w.shard] = w
+	c.connected++
+	rendezvous := c.connected == c.cfg.Workers
+	c.mu.Unlock()
+
+	if err := w.send(&frame{Type: frameWelcome, Shard: w.shard, Config: &c.cfg.Worker}); err != nil {
+		c.workerDead(w, fmt.Errorf("fabric: welcome: %w", err))
+		return
+	}
+	if rendezvous {
+		close(c.ready)
+	}
+	c.tele.workersLive.Add(1)
+	c.cfg.Bus.Publish(telemetry.Event{
+		Type: "worker", Campaign: c.cfg.Campaign, Status: "connected",
+		Worker: w.name(), Shard: w.shard,
+	})
+
+	// The worker stall watchdog samples the heartbeat counter carried by
+	// heartbeat frames; a worker whose frames stop (SIGSTOP, livelock) is
+	// declared dead even while its connection lingers.
+	if c.cfg.WorkerStall > 0 {
+		wctx, cancel := context.WithCancelCause(context.Background())
+		w.cancel = cancel
+		w.wd = resilience.Watch(cancel,
+			resilience.WatchdogConfig{StallTimeout: c.cfg.WorkerStall},
+			w.beat.Load)
+		go func() {
+			<-wctx.Done()
+			if cause := context.Cause(wctx); !errors.Is(cause, errWorkerDone) {
+				c.workerDead(w, fmt.Errorf("fabric: worker %s: %w", w.name(), cause))
+			}
+		}()
+	}
+
+	c.kick()
+	for {
+		f, err := readFrame(br)
+		if err != nil {
+			c.workerDead(w, fmt.Errorf("fabric: worker %s connection: %w", w.name(), err))
+			return
+		}
+		switch f.Type {
+		case frameHeartbeat:
+			c.beats.Add(1)
+			c.tele.heartbeats.Inc()
+			w.beat.Store(f.Beat)
+		case frameResult:
+			c.handleResult(w, f.Result)
+		}
+	}
+}
+
+// homeShard maps a spec to the shard that owns it.
+func (c *Coordinator) homeShard(id string) int {
+	if c.cfg.Assign != nil {
+		if n := c.cfg.Assign(id, c.cfg.Workers); n >= 0 && n < c.cfg.Workers {
+			return n
+		}
+	}
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return int(h.Sum32() % uint32(c.cfg.Workers))
+}
+
+// Submit queues one spec on its home shard and blocks until a worker
+// reports its terminal result (or ctx cancels). Part of
+// campaign.Executor.
+func (c *Coordinator) Submit(ctx context.Context, spec campaign.RunSpec) campaign.SpecResult {
+	it := &item{spec: spec, home: c.homeShard(spec.ID()), res: make(chan campaign.SpecResult, 1)}
+	c.mu.Lock()
+	if c.closed || c.failed != nil {
+		err := c.failed
+		c.mu.Unlock()
+		if err == nil {
+			err = errors.New("fabric: coordinator closed")
+		}
+		return campaign.SpecResult{Spec: spec, Status: campaign.StatusFailed,
+			Err: fmt.Errorf("fabric: submit %s: %w", spec.ID(), err)}
+	}
+	c.queues[it.home] = append(c.queues[it.home], it)
+	c.mu.Unlock()
+	c.kick()
+
+	select {
+	case sr := <-it.res:
+		return sr
+	case <-ctx.Done():
+		// Unqueue if still pending; an already-dispatched item keeps
+		// running remotely and its late result lands in the buffered
+		// channel, harmlessly.
+		c.mu.Lock()
+		q := c.queues[it.home]
+		for i, qi := range q {
+			if qi == it {
+				c.queues[it.home] = append(q[:i:i], q[i+1:]...)
+				break
+			}
+		}
+		c.mu.Unlock()
+		return campaign.SpecResult{Spec: spec, Status: campaign.StatusCanceled, Err: context.Cause(ctx)}
+	}
+}
+
+// assignment is one dispatch decision made under the lock and executed
+// outside it.
+type assignment struct {
+	w      *workerConn
+	it     *item
+	stolen bool
+}
+
+// kick dispatches until no free worker can be matched with pending
+// work. Frame writes happen outside the coordinator lock; a failed
+// write turns into a worker death, which requeues and re-kicks.
+func (c *Coordinator) kick() {
+	for {
+		c.mu.Lock()
+		asg := c.pickLocked()
+		c.mu.Unlock()
+		if asg == nil {
+			return
+		}
+		c.tele.assigned(asg.w.shard).Inc()
+		if asg.stolen {
+			c.steals.Add(1)
+			c.tele.steals.Inc()
+			c.cfg.Bus.Publish(telemetry.Event{
+				Type: "worker", Campaign: c.cfg.Campaign, Status: "stole",
+				Worker: asg.w.name(), Shard: asg.w.shard, Run: asg.it.spec.ID(),
+			})
+		}
+		if err := asg.w.send(&frame{Type: frameAssign, Spec: &asg.it.spec}); err != nil {
+			c.workerDead(asg.w, fmt.Errorf("fabric: assign to %s: %w", asg.w.name(), err))
+		}
+	}
+}
+
+// pickLocked matches the lowest-numbered free worker with work: its own
+// queue first (FIFO), else a steal from the longest queue (ties to the
+// lowest shard) — deterministic given the same event order.
+func (c *Coordinator) pickLocked() *assignment {
+	for s := 0; s < c.cfg.Workers; s++ {
+		w := c.workers[s]
+		if w == nil || w.dead || w.inflight != nil {
+			continue
+		}
+		if q := c.queues[s]; len(q) > 0 {
+			it := q[0]
+			c.queues[s] = q[1:]
+			w.inflight = it
+			return &assignment{w: w, it: it}
+		}
+		// Steal: the longest foreign queue keeps the fleet busy when the
+		// hash (or a dead worker's orphaned queue) skews the load.
+		victim, best := -1, 0
+		for v := 0; v < c.cfg.Workers; v++ {
+			if v != s && len(c.queues[v]) > best {
+				victim, best = v, len(c.queues[v])
+			}
+		}
+		if victim < 0 {
+			continue
+		}
+		it := c.queues[victim][0]
+		c.queues[victim] = c.queues[victim][1:]
+		w.inflight = it
+		return &assignment{w: w, it: it, stolen: true}
+	}
+	return nil
+}
+
+// handleResult resolves a worker's in-flight item with its terminal
+// result and feeds the per-worker breaker.
+func (c *Coordinator) handleResult(w *workerConn, r *wireResult) {
+	if r == nil {
+		return
+	}
+	c.beats.Add(1)
+	c.mu.Lock()
+	it := w.inflight
+	if it == nil || it.spec.ID() != r.ID {
+		// A frame for work this worker no longer owns (it was declared
+		// dead and revived, or double-sent): drop it — the redispatched
+		// copy is authoritative, and the shard WAL merge reconciles the
+		// duplicate outcome.
+		c.mu.Unlock()
+		return
+	}
+	w.inflight = nil
+	c.mu.Unlock()
+
+	sr := r.toSpecResult(it.spec)
+	c.tele.result(sr.Status).Inc()
+
+	quarantine := false
+	switch {
+	case sr.Status == campaign.StatusDone:
+		c.breakers.Success(w.name())
+	case sr.Status == campaign.StatusFailed && !resilience.IsTransient(sr.Err):
+		quarantine = c.breakers.Failure(w.name(), sr.Err)
+	}
+	it.res <- sr
+	if quarantine {
+		c.workerDead(w, fmt.Errorf("fabric: worker %s quarantined: %s",
+			w.name(), c.breakers.Reason(w.name())))
+		return
+	}
+	c.kick()
+}
+
+// workerDead removes a worker from the fleet: its in-flight item — at
+// most one — is requeued at the front of its home queue for redispatch,
+// and everything the worker already completed stays durable in its
+// shard WAL. Idempotent per worker; a no-op during Close.
+func (c *Coordinator) workerDead(w *workerConn, cause error) {
+	c.mu.Lock()
+	if w.dead || c.closed {
+		w.dead = true
+		c.mu.Unlock()
+		return
+	}
+	w.dead = true
+	delete(c.workers, w.shard)
+	it := w.inflight
+	w.inflight = nil
+	if it != nil {
+		c.redispatches.Add(1)
+		c.tele.redispatches.Inc()
+		c.queues[it.home] = append([]*item{it}, c.queues[it.home]...)
+	}
+	var orphans []*item
+	if len(c.workers) == 0 && c.connected >= c.cfg.Workers {
+		// The whole fleet is gone: nothing will ever run the queues.
+		c.failed = fmt.Errorf("fabric: all workers dead (last: %w)", cause)
+		for s, q := range c.queues {
+			orphans = append(orphans, q...)
+			c.queues[s] = nil
+		}
+	}
+	c.mu.Unlock()
+
+	w.conn.Close()
+	if w.cancel != nil {
+		w.cancel(errWorkerDone)
+	}
+	w.wd.Stop()
+	c.tele.workersLive.Add(-1)
+	c.tele.deaths.Inc()
+	ev := telemetry.Event{
+		Type: "worker", Campaign: c.cfg.Campaign, Status: "dead",
+		Worker: w.name(), Shard: w.shard,
+	}
+	if cause != nil {
+		ev.Err = cause.Error()
+	}
+	if it != nil {
+		ev.Run = it.spec.ID()
+	}
+	c.cfg.Bus.Publish(ev)
+	if cause == nil {
+		cause = fmt.Errorf("connection lost")
+	}
+	inflight := ""
+	if it != nil {
+		inflight = it.spec.ID()
+	}
+	telemetry.L().Warn("fabric worker dead",
+		"worker", w.name(), "cause", cause, "redispatching", inflight)
+	for _, o := range orphans {
+		o.res <- campaign.SpecResult{Spec: o.spec, Status: campaign.StatusFailed,
+			Err: fmt.Errorf("fabric: %s never ran: %w", o.spec.ID(), c.failedErr())}
+	}
+	c.kick()
+}
+
+func (c *Coordinator) failedErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failed
+}
+
+// Heartbeat aggregates liveness across the fleet: every heartbeat and
+// result frame received advances it. Part of campaign.Executor.
+func (c *Coordinator) Heartbeat() int64 { return c.beats.Load() }
+
+// Steals counts specs dispatched off their home shard. Part of
+// campaign.Executor.
+func (c *Coordinator) Steals() int64 { return c.steals.Load() }
+
+// Redispatches counts in-flight specs re-run because their worker died.
+func (c *Coordinator) Redispatches() int64 { return c.redispatches.Load() }
+
+// Close dismisses the fleet: best-effort bye frames, connections and
+// listener closed, anything still queued resolved as canceled.
+// Idempotent. Part of campaign.Executor.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	ws := make([]*workerConn, 0, len(c.workers))
+	for _, w := range c.workers {
+		ws = append(ws, w)
+	}
+	var leftovers []*item
+	for s, q := range c.queues {
+		leftovers = append(leftovers, q...)
+		c.queues[s] = nil
+	}
+	c.mu.Unlock()
+
+	for _, w := range ws {
+		w.send(&frame{Type: frameBye})
+		w.conn.Close()
+		if w.cancel != nil {
+			w.cancel(errWorkerDone)
+		}
+		w.wd.Stop()
+		c.tele.workersLive.Add(-1)
+		c.cfg.Bus.Publish(telemetry.Event{
+			Type: "worker", Campaign: c.cfg.Campaign, Status: "closed",
+			Worker: w.name(), Shard: w.shard,
+		})
+	}
+	c.ln.Close()
+	for _, o := range leftovers {
+		o.res <- campaign.SpecResult{Spec: o.spec, Status: campaign.StatusCanceled,
+			Err: errors.New("fabric: coordinator closed")}
+	}
+	return nil
+}
+
+// fabricTele bundles the coordinator's metric handles (fabric.* series).
+type fabricTele struct {
+	reg          *telemetry.Registry
+	workersLive  *telemetry.Gauge   // fabric.workers.live
+	heartbeats   *telemetry.Counter // fabric.heartbeats
+	steals       *telemetry.Counter // fabric.steals
+	redispatches *telemetry.Counter // fabric.redispatches
+	deaths       *telemetry.Counter // fabric.worker.deaths
+}
+
+func newFabricTele(reg *telemetry.Registry) *fabricTele {
+	if reg == nil {
+		reg = telemetry.Default()
+	}
+	return &fabricTele{
+		reg:          reg,
+		workersLive:  reg.Gauge("fabric.workers.live"),
+		heartbeats:   reg.Counter("fabric.heartbeats"),
+		steals:       reg.Counter("fabric.steals"),
+		redispatches: reg.Counter("fabric.redispatches"),
+		deaths:       reg.Counter("fabric.worker.deaths"),
+	}
+}
+
+// assigned is the per-shard dispatch counter (fabric.assigned{shard=N}).
+func (t *fabricTele) assigned(shard int) *telemetry.Counter {
+	return t.reg.Counter("fabric.assigned", "shard", strconv.Itoa(shard))
+}
+
+// result is the per-status outcome counter (fabric.results{status=...}).
+func (t *fabricTele) result(s campaign.Status) *telemetry.Counter {
+	return t.reg.Counter("fabric.results", "status", string(s))
+}

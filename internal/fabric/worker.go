@@ -1,0 +1,184 @@
+package fabric
+
+// The worker: one process owning one shard of a distributed campaign.
+// It dials the coordinator, rendezvouses with hello/welcome, and then
+// runs each assigned spec behind the same campaign.LocalExecutor the
+// in-process backend uses — retry loop, per-attempt pool, run
+// watchdogs, profile write — so a spec's execution semantics do not
+// depend on which backend ran it.
+//
+// Durability ordering per spec: the profile reaches the shared OutDir
+// (inside LocalExecutor.Submit), then the outcome is appended and
+// fsynced to this shard's WAL, and only then does the result frame go
+// back to the coordinator. A worker killed between the WAL append and
+// the frame has already made the outcome durable: recovery merges the
+// shard WAL and the spec is not re-run.
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"rajaperf/internal/campaign"
+	"rajaperf/internal/resilience"
+)
+
+// RunWorker runs one worker process's session: dial addr, announce
+// shard, execute assigned specs until the coordinator says bye (clean
+// return) or the connection breaks (error — typically the coordinator
+// died, and this process should exit with it).
+func RunWorker(ctx context.Context, addr string, shard int) error {
+	if shard < 0 {
+		return fmt.Errorf("fabric: negative shard %d", shard)
+	}
+	d := net.Dialer{Timeout: 10 * time.Second}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return fmt.Errorf("fabric: dial coordinator: %w", err)
+	}
+	defer conn.Close()
+
+	var wmu sync.Mutex
+	send := func(f *frame) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		return writeFrame(conn, f)
+	}
+	if err := send(&frame{Type: frameHello, Shard: shard, PID: os.Getpid()}); err != nil {
+		return err
+	}
+	br := bufio.NewReader(conn)
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	f, err := readFrame(br)
+	if err != nil {
+		return fmt.Errorf("fabric: waiting for welcome: %w", err)
+	}
+	if f.Type != frameWelcome || f.Config == nil {
+		return fmt.Errorf("fabric: expected welcome, got %q", f.Type)
+	}
+	conn.SetReadDeadline(time.Time{})
+	cfg := *f.Config
+
+	inj, err := resilience.ParseFaults(cfg.Faults)
+	if err != nil {
+		return fmt.Errorf("fabric: worker faults: %w", err)
+	}
+	exec := campaign.NewLocalExecutor(campaign.Options{
+		OutDir:       cfg.OutDir,
+		Workers:      1, // one spec in flight per worker: the fabric's capacity discipline
+		PoolLanes:    cfg.PoolLanes,
+		Retry:        resilience.Policy{MaxAttempts: cfg.MaxAttempts, BaseDelay: cfg.BaseDelay, MaxDelay: cfg.MaxDelay},
+		RunTimeout:   cfg.RunTimeout,
+		StallTimeout: cfg.StallTimeout,
+		Grace:        cfg.Grace,
+		Faults:       inj,
+	})
+	var wal *campaign.ShardJournal
+	if cfg.OutDir != "" {
+		if wal, err = campaign.OpenShardJournal(cfg.OutDir, shard); err != nil {
+			return err
+		}
+		defer wal.Close()
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Heartbeats: a monotone counter on a timer. It asserts "this process
+	// is alive and its socket works" — per-run liveness is the local
+	// executor's watchdog's job, so a long-legitimate kernel does not get
+	// its worker declared dead.
+	hbStop := make(chan struct{})
+	defer close(hbStop)
+	go func() {
+		t := time.NewTicker(cfg.HeartbeatEvery)
+		defer t.Stop()
+		var beat int64
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-t.C:
+				beat++
+				if send(&frame{Type: frameHeartbeat, Beat: beat}) != nil {
+					return
+				}
+			}
+		}
+	}()
+
+	// Assigned specs execute on a separate goroutine so the read loop
+	// stays responsive to bye while a run is in flight. The coordinator's
+	// capacity discipline sends at most one assign before the matching
+	// result, so the buffer never fills.
+	assigns := make(chan campaign.RunSpec, 4)
+	runErr := make(chan error, 1)
+	go func() {
+		defer close(runErr)
+		for spec := range assigns {
+			sr := exec.Submit(runCtx, spec)
+			if sr.Status != campaign.StatusCanceled {
+				if err := wal.Append(spec.ID(), shardEntry(sr)); err != nil {
+					runErr <- err
+					return
+				}
+			}
+			if err := send(&frame{Type: frameResult, Result: toWire(sr)}); err != nil {
+				runErr <- err
+				return
+			}
+		}
+	}()
+
+	for {
+		f, err := readFrame(br)
+		if err != nil {
+			close(assigns)
+			if ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("fabric: coordinator connection: %w", err)
+		}
+		switch f.Type {
+		case frameAssign:
+			if f.Spec != nil {
+				select {
+				case assigns <- *f.Spec:
+				case err := <-runErr:
+					close(assigns)
+					return fmt.Errorf("fabric: worker shard%d: %w", shard, err)
+				}
+			}
+		case frameBye:
+			close(assigns)
+			if err := <-runErr; err != nil {
+				return fmt.Errorf("fabric: worker shard%d: %w", shard, err)
+			}
+			return nil
+		}
+	}
+}
+
+// shardEntry builds the WAL record for one terminal outcome — the same
+// shape the orchestrator journals to the root WAL, so the merge layer
+// reconciles them field by field.
+func shardEntry(sr campaign.SpecResult) campaign.ManifestEntry {
+	e := campaign.ManifestEntry{
+		Spec:     sr.Spec,
+		Status:   sr.Status,
+		WallSec:  sr.Elapsed.Seconds(),
+		Attempts: sr.Attempts,
+	}
+	if sr.Path != "" {
+		e.File = filepath.Base(sr.Path)
+	}
+	if sr.Err != nil {
+		e.Error = sr.Err.Error()
+	}
+	return e
+}

@@ -5,6 +5,12 @@
 // requests, and synchronize on barriers. A simple latency/bandwidth model
 // accumulates per-rank communication time so halo kernels can report their
 // communication share.
+//
+// The package's message discipline — typed tagged frames, spawn-all
+// rendezvous before any rank communicates, per-sender FIFO ordering —
+// is also the protocol skeleton of the distributed campaign fabric
+// (internal/fabric), translated there from channels to length-prefixed
+// frames over TCP.
 package simmpi
 
 import (

@@ -23,8 +23,9 @@ type Event struct {
 	Seq  int64     `json:"seq"`
 	Time time.Time `json:"time"`
 	// Type is the event class: "run" (a RunSpec status transition),
-	// "heartbeat" (periodic campaign liveness), or "campaign"
-	// (campaign-level start/end).
+	// "heartbeat" (periodic campaign liveness), "campaign"
+	// (campaign-level start/end), or "worker" (fabric worker lifecycle:
+	// connected, stole, dead, closed).
 	Type string `json:"type"`
 
 	Campaign string  `json:"campaign,omitempty"` // campaign identity (output dir)
@@ -36,6 +37,10 @@ type Event struct {
 	Finished int     `json:"finished,omitempty"`
 	Total    int     `json:"total,omitempty"`
 	InFlight int     `json:"in_flight,omitempty"`
+	// Worker identifies a fabric worker on "worker" events ("shard3");
+	// Shard is its shard index.
+	Worker string `json:"worker,omitempty"`
+	Shard  int    `json:"shard,omitempty"`
 }
 
 // Sub is one subscription: receive events from C until Close. If the
