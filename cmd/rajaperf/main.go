@@ -30,6 +30,8 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"rajaperf/internal/caliper"
@@ -84,16 +86,21 @@ func realMain() int {
 		resume    = flag.Bool("resume", false, "skip campaign specs whose recorded profile exists and validates (runs crash recovery first)")
 
 		// Distributed fabric: -fabric N forks N local worker processes and
-		// shards the campaign across them; -worker-of/-worker-shard are the
-		// internal worker-mode entry those forks use.
-		fabricN     = flag.Int("fabric", 0, "run the campaign distributed: fork this many local worker processes and shard specs across them (implies -campaign concurrency)")
-		workerOf    = flag.String("worker-of", "", "internal: run as a fabric worker dialing this coordinator address")
-		workerShard = flag.Int("worker-shard", 0, "internal: this fabric worker's shard index")
+		// shards the campaign across them; -worker-of/-worker-shard/
+		// -worker-campaign are the internal worker-mode entry those forks
+		// use.
+		fabricN       = flag.Int("fabric", 0, "run the campaign distributed: fork this many local worker processes and shard specs across them (implies -campaign concurrency; clamped to the plan's spec count)")
+		fabricRespawn = flag.Int("fabric-respawn", 3, "restart budget per fabric shard: respawn a dead worker up to this many times with exponential backoff (0 = dead capacity stays lost)")
+		hedgeFactor   = flag.Float64("hedge", 4, "hedged redispatch: duplicate a spec in flight longer than this multiple of the campaign's running p95 onto an idle worker (0 = off)")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "on SIGTERM, let in-flight fabric specs finish for up to this long before canceling hard")
+		workerOf      = flag.String("worker-of", "", "internal: run as a fabric worker dialing this coordinator address")
+		workerShard   = flag.Int("worker-shard", 0, "internal: this fabric worker's shard index")
+		workerCamp    = flag.String("worker-campaign", "", "internal: the campaign identity this fabric worker belongs to")
 
 		// Resilience: deterministic fault injection and the machinery that
 		// absorbs faults — retry with backoff, run watchdogs, a circuit
 		// breaker over repeat offenders.
-		faults      = flag.String("faults", "", "deterministic fault injection spec, e.g. 'kernel.panic:2,run.transient:0.1,seed=7' (points: "+strings.Join(resilience.Points(), ", ")+")")
+		faults      = flag.String("faults", "", "deterministic fault injection spec, e.g. 'kernel.panic:2,run.transient:0.1,seed=7'; 'list' or 'help' prints the fault-point catalog")
 		maxAttempts = flag.Int("max-attempts", 1, "run attempts per campaign spec; transient failures and timeouts retry with exponential backoff")
 		runTimeout  = flag.Duration("run-timeout", 0, "hard wall-clock deadline per campaign run attempt (0 = none)")
 		stallT      = flag.Duration("stall-timeout", 0, "cancel a campaign run whose executor heartbeat stalls this long (0 = off)")
@@ -111,6 +118,17 @@ func realMain() int {
 	)
 	flag.Parse()
 
+	// -faults list/help: print the catalog instead of burying it in the
+	// parse error of an unknown point.
+	if *faults == "list" || *faults == "help" {
+		fmt.Println("fault points, for -faults 'point[:arg][,point[:arg]...][,seed=N]'")
+		fmt.Println("(arg: probability in [0,1] with a '.', or a positive count; '=' works as ':'):")
+		for _, p := range resilience.Catalog() {
+			fmt.Printf("  %-16s %s\n", p.Name, p.Desc)
+		}
+		return 0
+	}
+
 	log := telemetry.NewLogger(os.Stderr, telemetry.ParseLevel(*quiet, *verbose))
 	telemetry.SetDefault(log)
 
@@ -127,7 +145,7 @@ func realMain() int {
 	if *workerOf != "" {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 		defer stop()
-		if err := fabric.RunWorker(ctx, *workerOf, *workerShard); err != nil {
+		if err := fabric.RunWorker(ctx, *workerOf, *workerShard, *workerCamp); err != nil {
 			fmt.Fprintln(os.Stderr, "rajaperf:", err)
 			return 1
 		}
@@ -222,6 +240,7 @@ func realMain() int {
 			maxAttempts: *maxAttempts, runTimeout: *runTimeout,
 			stallTimeout: *stallT, breaker: *breaker, faults: inj,
 			faultSpec: *faults, fabric: *fabricN, outdirSet: outdirSet,
+			respawn: *fabricRespawn, hedge: *hedgeFactor, drainTimeout: *drainTimeout,
 			bus: bus,
 		})
 		if err != nil {
@@ -279,8 +298,14 @@ type campaignArgs struct {
 	// worker, which seeds its own injector from it.
 	faultSpec string
 	// fabric > 0 runs the campaign distributed across that many forked
-	// local worker processes.
+	// local worker processes (clamped to the plan's spec count).
 	fabric int
+	// respawn is the per-shard restart budget for dead fabric workers;
+	// hedge the speculative-redispatch factor over the running p95; and
+	// drainTimeout the SIGTERM grace for in-flight specs.
+	respawn      int
+	hedge        float64
+	drainTimeout time.Duration
 	// outdirSet records whether -outdir was given explicitly: the fabric
 	// refuses to run against the flag's "." default, which would litter
 	// the working directory with shard WALs and profiles.
@@ -326,6 +351,13 @@ func runCampaign(a campaignArgs) (int, error) {
 	log := telemetry.L()
 	log.Info("campaign planned", "specs", len(specs), "outdir", a.outdir,
 		"jobs", a.jobs, "resume", a.resume)
+	if a.fabric > len(specs) && len(specs) > 0 {
+		// More workers than specs would fork processes that never receive
+		// an assignment.
+		log.Info("clamping -fabric to the planned spec count",
+			"fabric", a.fabric, "specs", len(specs))
+		a.fabric = len(specs)
+	}
 
 	// Progress consumer: the campaign publishes to the bus (the same
 	// stream /events serves over SSE); this subscriber renders it as
@@ -355,14 +387,21 @@ func runCampaign(a campaignArgs) (int, error) {
 	// Distributed mode: stand up the coordinator, fork the worker fleet,
 	// rendezvous, and hand the coordinator to the orchestrator as its
 	// execution backend. The orchestrator's concurrency matches the fleet
-	// (capacity one spec in flight per worker).
+	// (capacity one spec in flight per worker). The same fork path serves
+	// initial spawn and supervision: a dead worker respawns through it
+	// under the -fabric-respawn budget.
 	var coord *fabric.Coordinator
-	var workerCmds []*exec.Cmd
+	var spawner *workerSpawner
+	var drainDone chan struct{}
+	var hardCancel context.CancelFunc
 	if a.fabric > 0 {
 		if a.outdir == "" || !a.outdirSet {
 			return 2, errors.New("-fabric requires -outdir (workers stream profiles and shard WALs there)")
 		}
-		coord, err = fabric.NewCoordinator(fabric.Config{
+		if spawner, err = newWorkerSpawner(a.outdir); err != nil {
+			return 1, err
+		}
+		cfg := fabric.Config{
 			Workers: a.fabric,
 			Worker: fabric.WorkerConfig{
 				OutDir:       a.outdir,
@@ -371,17 +410,29 @@ func runCampaign(a campaignArgs) (int, error) {
 				StallTimeout: a.stallTimeout,
 				Faults:       a.faultSpec,
 			},
-			Bus:      a.bus,
-			Campaign: a.outdir,
-		})
+			HedgeFactor: a.hedge,
+			Chaos:       a.faults,
+			Bus:         a.bus,
+			Campaign:    a.outdir,
+		}
+		if a.respawn > 0 {
+			cfg.Spawn = spawner.spawn
+			cfg.Respawn = resilience.Policy{MaxAttempts: a.respawn,
+				BaseDelay: 200 * time.Millisecond, MaxDelay: 2 * time.Second}
+		}
+		coord, err = fabric.NewCoordinator(cfg)
 		if err != nil {
 			return 1, err
 		}
 		defer coord.Close()
-		if workerCmds, err = spawnWorkers(coord.Addr(), a.fabric); err != nil {
-			return 1, err
+		spawner.setAddr(coord.Addr())
+		for i := 0; i < a.fabric; i++ {
+			if err := spawner.spawn(i); err != nil {
+				spawner.reap()
+				return 1, err
+			}
 		}
-		defer reapWorkers(workerCmds)
+		defer spawner.reap()
 		waitCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
 		err = coord.AwaitReady(waitCtx)
 		cancel()
@@ -391,21 +442,54 @@ func runCampaign(a campaignArgs) (int, error) {
 		log.Info("fabric ready", "workers", a.fabric, "addr", coord.Addr())
 		opts.Executor = coord
 		opts.Workers = a.fabric
+
+		// Graceful drain: SIGTERM stops assignment and lets in-flight
+		// specs finish (their outcomes reach the shard WALs), then the
+		// campaign winds down at a spec boundary. If the drain deadline
+		// expires, fall back to the hard cancel SIGINT uses.
+		term := make(chan os.Signal, 1)
+		signal.Notify(term, syscall.SIGTERM)
+		defer signal.Stop(term)
+		ctx, hardCancel = context.WithCancel(ctx)
+		defer hardCancel()
+		drainDone = make(chan struct{})
+		go func() {
+			defer close(drainDone)
+			select {
+			case <-term:
+				log.Info("SIGTERM: draining fabric", "timeout", a.drainTimeout)
+				dctx, dcancel := context.WithTimeout(context.Background(), a.drainTimeout)
+				defer dcancel()
+				var d campaign.Drainer = coord
+				if err := d.Drain(dctx); err != nil {
+					log.Warn("fabric drain incomplete, canceling hard", "err", err)
+					hardCancel()
+				} else {
+					log.Info("fabric drained: in-flight specs finished")
+				}
+			case <-ctx.Done():
+			}
+		}()
 	}
 
 	res, err := campaign.Run(ctx, plan, opts)
 	if coord != nil {
+		// If a SIGTERM drain is mid-flight, let it finish (and log its
+		// outcome) before the fleet is dismissed; hardCancel releases the
+		// signal goroutine when no SIGTERM ever arrived.
+		hardCancel()
+		<-drainDone
 		// Dismiss the fleet (bye frames), reap the forked workers, then
 		// fold their shard WALs into the root manifest — the merge is
 		// byte-deterministic regardless of worker completion order.
 		coord.Close()
-		reapWorkers(workerCmds)
-		workerCmds = nil
+		spawner.reap()
 		if _, applied, ferr := campaign.FinalizeShards(a.outdir); ferr != nil {
 			log.Error("fabric: shard WAL merge failed", "err", ferr)
 		} else {
 			log.Info("fabric finished", "steals", coord.Steals(),
-				"redispatched", coord.Redispatches(), "shard_entries_merged", applied)
+				"redispatched", coord.Redispatches(), "respawned", coord.Respawns(),
+				"hedged", coord.Hedges(), "shard_entries_merged", applied)
 		}
 	}
 	printerDone()
@@ -493,32 +577,63 @@ func resolveMetricsAddr(metricsAddr, pprofHTTP string) (string, error) {
 	return metricsAddr, nil
 }
 
-// spawnWorkers forks n fabric worker processes of this same binary, each
-// dialing the coordinator with its shard index. Worker stderr passes
-// through, so a worker's failure diagnostics reach the operator.
-func spawnWorkers(addr string, n int) ([]*exec.Cmd, error) {
+// workerSpawner forks fabric worker processes of this same binary, each
+// dialing the coordinator with its shard index and campaign identity.
+// Worker stderr passes through, so a worker's failure diagnostics reach
+// the operator. One spawner serves both the initial fleet and the
+// coordinator's respawn supervision, so every forked process — original
+// or replacement — is tracked for reaping.
+type workerSpawner struct {
+	bin      string
+	campaign string
+
+	mu   sync.Mutex
+	addr string // set once the coordinator is listening; respawn goroutines read it
+	cmds []*exec.Cmd
+}
+
+// setAddr records the coordinator's listen address once it is known.
+func (s *workerSpawner) setAddr(addr string) {
+	s.mu.Lock()
+	s.addr = addr
+	s.mu.Unlock()
+}
+
+func newWorkerSpawner(campaignID string) (*workerSpawner, error) {
 	bin, err := os.Executable()
 	if err != nil {
 		return nil, fmt.Errorf("fabric: locate worker binary: %w", err)
 	}
-	cmds := make([]*exec.Cmd, 0, n)
-	for i := 0; i < n; i++ {
-		cmd := exec.Command(bin, "-worker-of", addr, "-worker-shard", strconv.Itoa(i), "-quiet")
-		cmd.Stderr = os.Stderr
-		if err := cmd.Start(); err != nil {
-			reapWorkers(cmds)
-			return nil, fmt.Errorf("fabric: start worker %d: %w", i, err)
-		}
-		cmds = append(cmds, cmd)
-	}
-	return cmds, nil
+	return &workerSpawner{bin: bin, campaign: campaignID}, nil
 }
 
-// reapWorkers waits for forked workers to exit (they do, once the
-// coordinator says bye or their connection drops), escalating to SIGKILL
-// after a grace period. Idempotent: safe to call on already-reaped
-// commands.
-func reapWorkers(cmds []*exec.Cmd) {
+// spawn forks one worker for the shard. Safe for concurrent use (the
+// coordinator's supervisors call it from respawn goroutines).
+func (s *workerSpawner) spawn(shard int) error {
+	s.mu.Lock()
+	addr := s.addr
+	s.mu.Unlock()
+	cmd := exec.Command(s.bin, "-worker-of", addr,
+		"-worker-shard", strconv.Itoa(shard),
+		"-worker-campaign", s.campaign, "-quiet")
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("fabric: start worker %d: %w", shard, err)
+	}
+	s.mu.Lock()
+	s.cmds = append(s.cmds, cmd)
+	s.mu.Unlock()
+	return nil
+}
+
+// reap waits for forked workers to exit (they do, once the coordinator
+// says bye or their connection drops), escalating to SIGKILL after a
+// grace period. Idempotent: safe to call on already-reaped commands.
+func (s *workerSpawner) reap() {
+	s.mu.Lock()
+	cmds := s.cmds
+	s.cmds = nil
+	s.mu.Unlock()
 	for _, cmd := range cmds {
 		done := make(chan struct{})
 		go func(c *exec.Cmd) {

@@ -44,6 +44,18 @@ type Executor interface {
 	Close() error
 }
 
+// Drainer is an optional Executor capability: graceful shutdown at a
+// spec boundary. Drain stops the backend from accepting or dispatching
+// new work and blocks until everything already in flight reaches a
+// terminal result (or ctx's deadline expires) — so a SIGTERM'd campaign
+// ends with every started spec's outcome durable, and a later resume
+// re-runs only what never dispatched. Callers type-assert:
+//
+//	if d, ok := exec.(Drainer); ok { d.Drain(ctx) }
+type Drainer interface {
+	Drain(ctx context.Context) error
+}
+
 // LocalExecutor is the in-process execution backend: each Submit drives
 // one spec through the retry/watchdog attempt loop on a private executor
 // pool, writing its profile to Options.OutDir. It is the orchestrator's

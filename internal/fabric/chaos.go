@@ -1,0 +1,83 @@
+package fabric
+
+// The chaos transport: a write-side net.Conn wrapper that subjects every
+// outgoing frame to the resilience injector's net.* fault points. Because
+// writeFrame emits exactly one Write per frame, each fault decision
+// applies to a whole frame — delayed, blackholed, duplicated, or
+// bit-flipped as a unit — so a chaos drill exercises the protocol's
+// recovery machinery (CRC teardown, ack/resend, hedging, respawn) rather
+// than accidental stream desync.
+//
+// The wrapper is write-side only and is armed *after* the hello/welcome
+// handshake: rendezvous has its own deadline and no retransmit layer, so
+// faulting it would turn a drill into a hang instead of a recovery. Every
+// post-handshake frame in both directions crosses a chaos boundary
+// (coordinator writes through its wrapper, workers through theirs), which
+// is equivalent to faulting the link itself.
+//
+// Determinism: decisions come from resilience.Injector, so a given
+// (-faults spec, seed) produces the same multiset of per-point decisions
+// every run — the property the chaos acceptance suite relies on to
+// reproduce a convergence failure byte-for-byte.
+
+import (
+	"io"
+	"time"
+
+	"rajaperf/internal/resilience"
+)
+
+// chaosDelay is the pause injected by one net.delay firing — long enough
+// to reorder work around the slow frame, short enough to stay far inside
+// every liveness timeout (heartbeat stall, drain deadline).
+const chaosDelay = 25 * time.Millisecond
+
+// chaosWriter applies net.* faults to each Write. Callers already
+// serialize writes per connection (the frame FIFO discipline), so the
+// wrapper needs no locking of its own.
+type chaosWriter struct {
+	w   io.Writer
+	inj *resilience.Injector
+}
+
+// wrapChaos returns w wrapped with fault injection, or w itself when the
+// injector arms no network points — the fault-free path stays zero-cost.
+func wrapChaos(w io.Writer, inj *resilience.Injector) io.Writer {
+	if !inj.Enabled(resilience.FaultNetDelay) &&
+		!inj.Enabled(resilience.FaultNetDrop) &&
+		!inj.Enabled(resilience.FaultNetDup) &&
+		!inj.Enabled(resilience.FaultNetCorrupt) {
+		return w
+	}
+	return &chaosWriter{w: w, inj: inj}
+}
+
+// Write evaluates each armed network fault once per frame. Order matters:
+// a dropped frame is not also corrupted (its bytes never exist), and a
+// duplicated frame carries the same corruption in both copies (a
+// retransmitting link replays what it has).
+func (c *chaosWriter) Write(b []byte) (int, error) {
+	if c.inj.Fire(resilience.FaultNetDelay) {
+		time.Sleep(chaosDelay)
+	}
+	if c.inj.Fire(resilience.FaultNetDrop) {
+		// Blackhole: report success so the sender believes the frame left.
+		// Recovery is the receiver's absence of response — ack timeouts,
+		// hedges — exactly as with real packet loss past the kernel buffer.
+		return len(b), nil
+	}
+	if c.inj.Fire(resilience.FaultNetCorrupt) {
+		flipped := make([]byte, len(b))
+		copy(flipped, b)
+		// Flip one bit mid-frame: inside the JSON body for any real frame,
+		// so the CRC trailer — not the length prefix — is what catches it.
+		flipped[len(flipped)/2] ^= 0x40
+		b = flipped
+	}
+	if c.inj.Fire(resilience.FaultNetDup) {
+		if n, err := c.w.Write(b); err != nil {
+			return n, err
+		}
+	}
+	return c.w.Write(b)
+}

@@ -1,0 +1,584 @@
+package fabric
+
+// Self-healing acceptance: seeded network chaos, worker.crash events,
+// respawn supervision, hedged redispatch, and graceful drain. The
+// headline test is the DESIGN.md chaos drill — a 4-worker campaign under
+// every net.* fault plus two worker crashes must converge to the same
+// normalized profiles as a fault-free single-process run, with every
+// crashed worker respawned and full fleet capacity restored.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"net"
+	"reflect"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"rajaperf/internal/caliper"
+	"rajaperf/internal/campaign"
+	"rajaperf/internal/resilience"
+	"rajaperf/internal/telemetry"
+)
+
+// TestChaosConvergence is the chaos drill: every transport fault armed
+// at once (delay, drop, dup, corrupt) on both directions of every
+// connection, plus two worker.crash events — and the campaign must
+// still produce exactly the fault-free result. Run under -race in CI.
+func TestChaosConvergence(t *testing.T) {
+	plan := testPlan()
+	specs, err := plan.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The fault-free oracle.
+	soloDir := t.TempDir()
+	soloRes, err := campaign.Run(context.Background(), plan, campaign.Options{
+		OutDir: soloDir, Workers: 1, Metrics: new(telemetry.Registry),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if soloRes.Done != len(specs) {
+		t.Fatalf("solo campaign: %d done, want %d", soloRes.Done, len(specs))
+	}
+
+	// The drill: the same fault spec drives the coordinator's chaos
+	// transport + worker.crash decisions and, forwarded through the
+	// welcome frame, each worker's own chaos transport.
+	const faultSpec = "net.delay:0.05,net.drop:0.05,net.dup:0.05,net.corrupt:0.02,worker.crash:2,seed=11"
+	inj, err := resilience.ParseFaults(faultSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cfg := Config{
+		Workers: 4,
+		Worker: WorkerConfig{OutDir: dir, Faults: faultSpec,
+			HeartbeatEvery: 100 * time.Millisecond},
+		Campaign:    dir,
+		Metrics:     new(telemetry.Registry),
+		Chaos:       inj,
+		ResendEvery: 100 * time.Millisecond,
+		Respawn: resilience.Policy{MaxAttempts: 10,
+			BaseDelay: 10 * time.Millisecond, MaxDelay: 50 * time.Millisecond},
+	}
+	f := startFleet(t, cfg)
+	res, err := campaign.Run(context.Background(), plan, campaign.Options{
+		OutDir: dir, Workers: 4, Executor: f.coord,
+		Campaign: dir, Metrics: cfg.Metrics,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Done != len(specs) || res.Failed != 0 {
+		t.Fatalf("chaos campaign did not converge: %d done, %d failed of %d",
+			res.Done, res.Failed, len(specs))
+	}
+
+	// Every crashed worker respawned (worker.crash:2 guarantees at least
+	// two deaths; corrupt-frame teardowns may add more) and the fleet
+	// back at full strength.
+	if got := f.coord.Respawns(); got < 2 {
+		t.Errorf("respawns = %d, want >= 2 (worker.crash:2 killed two workers)", got)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for f.coord.LiveWorkers() < cfg.Workers {
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet capacity not restored: %d of %d workers live",
+				f.coord.LiveWorkers(), cfg.Workers)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	f.stop()
+	if _, _, err := campaign.FinalizeShards(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fault-free equivalence: same manifest, same normalized profiles.
+	soloMan, err := campaign.LoadManifest(soloDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaosMan, err := campaign.LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(soloMan.Entries) != len(chaosMan.Entries) {
+		t.Fatalf("manifest sizes differ: solo %d, chaos %d",
+			len(soloMan.Entries), len(chaosMan.Entries))
+	}
+	for id, se := range soloMan.Entries {
+		ce, ok := chaosMan.Entries[id]
+		if !ok {
+			t.Fatalf("chaos manifest missing %s", id)
+		}
+		if se.Status != ce.Status || se.File != ce.File {
+			t.Fatalf("%s: solo %s/%s vs chaos %s/%s", id, se.Status, se.File, ce.Status, ce.File)
+		}
+		sp, err := caliper.ReadFile(soloDir + "/" + se.File)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp, err := caliper.ReadFile(dir + "/" + ce.File)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sRecs, sMeta := normalize(sp)
+		cRecs, cMeta := normalize(cp)
+		if !reflect.DeepEqual(sRecs, cRecs) {
+			t.Errorf("%s: records differ between fault-free and chaos runs", id)
+		}
+		if !reflect.DeepEqual(sMeta, cMeta) {
+			t.Errorf("%s: metadata differs between fault-free and chaos runs:\n%v\n%v",
+				id, sMeta, cMeta)
+		}
+	}
+}
+
+// TestWorkerRespawn: SIGKILL the only worker; supervision must respawn
+// it within the restart budget, and the respawned worker must actually
+// execute work.
+func TestWorkerRespawn(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Workers:  1,
+		Worker:   WorkerConfig{OutDir: dir},
+		Campaign: dir,
+		Metrics:  new(telemetry.Registry),
+		Respawn: resilience.Policy{MaxAttempts: 5,
+			BaseDelay: 10 * time.Millisecond, MaxDelay: 50 * time.Millisecond},
+	}
+	f := startFleet(t, cfg)
+
+	f.mu.Lock()
+	victim := f.cmds[0].Process
+	f.mu.Unlock()
+	if err := victim.Kill(); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(15 * time.Second)
+	for f.coord.Respawns() < 1 || f.coord.LiveWorkers() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no respawn within 15s: respawns=%d live=%d",
+				f.coord.Respawns(), f.coord.LiveWorkers())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	specs, err := testPlan().Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := f.coord.Submit(context.Background(), specs[0])
+	if sr.Status != campaign.StatusDone {
+		t.Fatalf("respawned worker: %s result %s (%v)", specs[0].ID(), sr.Status, sr.Err)
+	}
+	f.stop()
+}
+
+// TestHedgedRedispatch: SIGSTOP the worker holding a spec once the
+// latency estimator has samples; the sweeper must hedge the spec onto
+// the idle worker and resolve it from the hedge's result.
+func TestHedgedRedispatch(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Workers:     2,
+		Worker:      WorkerConfig{OutDir: dir},
+		Campaign:    dir,
+		Metrics:     new(telemetry.Registry),
+		Assign:      func(string, int) int { return 0 }, // everything homes to shard 0
+		HedgeFactor: 1,
+		ResendEvery: 50 * time.Millisecond,
+		WorkerStall: 30 * time.Second, // the stall watchdog must NOT beat the hedge
+	}
+	f := startFleet(t, cfg)
+	specs, err := testPlan().Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Three sequential submits land on worker 0 (free, owns the home
+	// queue) and seed the p95 estimator.
+	ctx := context.Background()
+	for _, s := range specs[:3] {
+		if sr := f.coord.Submit(ctx, s); sr.Status != campaign.StatusDone {
+			t.Fatalf("warmup %s: %s (%v)", s.ID(), sr.Status, sr.Err)
+		}
+	}
+
+	f.mu.Lock()
+	w0 := f.cmds[0].Process
+	f.mu.Unlock()
+	if err := w0.Signal(syscall.SIGSTOP); err != nil {
+		t.Fatal(err)
+	}
+	defer w0.Signal(syscall.SIGCONT)
+
+	// The next spec dispatches to the stopped worker 0; worker 1 is idle,
+	// so the hedge must win.
+	done := make(chan campaign.SpecResult, 1)
+	go func() { done <- f.coord.Submit(ctx, specs[3]) }()
+	select {
+	case sr := <-done:
+		if sr.Status != campaign.StatusDone {
+			t.Fatalf("hedged spec: %s (%v)", sr.Status, sr.Err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("hedged spec never resolved")
+	}
+	if got := f.coord.Hedges(); got < 1 {
+		t.Errorf("hedges = %d, want >= 1 (primary holder was SIGSTOP'd)", got)
+	}
+	w0.Signal(syscall.SIGCONT)
+	f.stop()
+}
+
+// TestDrainFinishesInFlight: a drain landing while every spec is in
+// flight lets them run to completion (no work lost, no work canceled),
+// refuses new submissions, and leaves a directory a resume re-runs
+// nothing over.
+func TestDrainFinishesInFlight(t *testing.T) {
+	plan := testPlan()
+	plan.Machines = []string{"SPR-DDR"}
+	plan.Variants = []string{"RAJA_Seq"}
+	plan.Kernels = []string{"Stream_TRIAD"}
+	plan.Sizes = []int{500_000, 750_000}
+	plan.Reps = 20_000 // chunky: provably mid-flight when the drain lands
+	specs, err := plan.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("want a 2-spec plan, got %d", len(specs))
+	}
+
+	dir := t.TempDir()
+	bus := new(telemetry.Bus)
+	cfg := Config{Workers: 2, Worker: WorkerConfig{OutDir: dir},
+		Campaign: dir, Metrics: new(telemetry.Registry), Bus: bus}
+	f := startFleet(t, cfg)
+
+	running := make(chan struct{}, 8)
+	sub := bus.Subscribe(64, 0)
+	go func() {
+		for ev := range sub.C {
+			if ev.Type == "run" && ev.Status == "running" {
+				running <- struct{}{}
+			}
+		}
+	}()
+
+	resCh := make(chan *campaign.Result, 1)
+	go func() {
+		res, err := campaign.Run(context.Background(), plan, campaign.Options{
+			OutDir: dir, Workers: 2, Executor: f.coord,
+			Campaign: dir, Metrics: cfg.Metrics, Bus: bus,
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		resCh <- res
+	}()
+	for i := 0; i < 2; i++ {
+		select {
+		case <-running:
+		case <-time.After(20 * time.Second):
+			t.Fatal("specs never started")
+		}
+	}
+	time.Sleep(100 * time.Millisecond) // both Submits reach the fleet
+
+	dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var dr campaign.Drainer = f.coord
+	if err := dr.Drain(dctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	res := <-resCh
+	sub.Close()
+	if res == nil {
+		t.Fatal("campaign returned no result")
+	}
+	if res.Done != len(specs) {
+		t.Fatalf("drain lost in-flight work: %d done of %d", res.Done, len(specs))
+	}
+
+	// Post-drain submissions are refused at a spec boundary.
+	if sr := f.coord.Submit(context.Background(), specs[0]); sr.Status != campaign.StatusCanceled {
+		t.Errorf("post-drain submit: %s, want canceled", sr.Status)
+	}
+	f.stop()
+	if _, _, err := campaign.FinalizeShards(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// The drained directory resumes with zero re-runs.
+	res2, err := campaign.Run(context.Background(), plan, campaign.Options{
+		OutDir: dir, Workers: 2, Resume: true, Metrics: new(telemetry.Registry),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Resumed != len(specs) || res2.Done != 0 {
+		t.Fatalf("resume after drain re-ran work: %d resumed, %d done, want %d/0",
+			res2.Resumed, res2.Done, len(specs))
+	}
+}
+
+// TestDrainCancelsQueued: with one worker and three outstanding specs,
+// a drain finishes the dispatched spec, cancels the two still queued,
+// and a resume re-runs exactly the canceled pair.
+func TestDrainCancelsQueued(t *testing.T) {
+	plan := testPlan()
+	plan.Machines = []string{"SPR-DDR"}
+	plan.Variants = []string{"RAJA_Seq"}
+	plan.Kernels = []string{"Stream_TRIAD"}
+	plan.Sizes = []int{500_000, 750_000, 1_000_000}
+	plan.Reps = 20_000
+	specs, err := plan.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 3 {
+		t.Fatalf("want a 3-spec plan, got %d", len(specs))
+	}
+
+	dir := t.TempDir()
+	bus := new(telemetry.Bus)
+	cfg := Config{Workers: 1, Worker: WorkerConfig{OutDir: dir},
+		Campaign: dir, Metrics: new(telemetry.Registry), Bus: bus}
+	f := startFleet(t, cfg)
+
+	running := make(chan struct{}, 8)
+	sub := bus.Subscribe(64, 0)
+	go func() {
+		for ev := range sub.C {
+			if ev.Type == "run" && ev.Status == "running" {
+				running <- struct{}{}
+			}
+		}
+	}()
+	resCh := make(chan *campaign.Result, 1)
+	go func() {
+		res, err := campaign.Run(context.Background(), plan, campaign.Options{
+			OutDir: dir, Workers: 3, Executor: f.coord,
+			Campaign: dir, Metrics: cfg.Metrics, Bus: bus,
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		resCh <- res
+	}()
+	for i := 0; i < 3; i++ {
+		select {
+		case <-running:
+		case <-time.After(20 * time.Second):
+			t.Fatal("specs never started")
+		}
+	}
+	time.Sleep(20 * time.Millisecond) // the first spec dispatches; the rest queue
+
+	dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := f.coord.Drain(dctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	res := <-resCh
+	sub.Close()
+	if res == nil {
+		t.Fatal("campaign returned no result")
+	}
+	canceled := 0
+	for _, sr := range res.Specs {
+		if sr.Status == campaign.StatusCanceled {
+			canceled++
+		}
+	}
+	// The exact split depends on how many specs finished before the drain
+	// landed; the invariants do not: at least one spec was still queued
+	// (canceled), the in-flight one finished, and nothing failed.
+	if canceled < 1 || res.Done < 1 || res.Done+canceled != len(specs) {
+		t.Fatalf("drain split wrong: %d done, %d canceled of %d", res.Done, canceled, len(specs))
+	}
+	f.stop()
+	if _, _, err := campaign.FinalizeShards(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume re-runs exactly the canceled set — the drained work is
+	// durable, the undispatched work is not.
+	res2, err := campaign.Run(context.Background(), plan, campaign.Options{
+		OutDir: dir, Workers: 1, Resume: true, Metrics: new(telemetry.Registry),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Resumed != res.Done || res2.Done != canceled {
+		t.Fatalf("resume after partial drain: %d resumed, %d done, want %d/%d",
+			res2.Resumed, res2.Done, res.Done, canceled)
+	}
+}
+
+// TestHandshakeReject: a hello speaking the wrong protocol version or
+// naming a foreign campaign is turned away at admission — connection
+// closed, rejection counted, no welcome.
+func TestHandshakeReject(t *testing.T) {
+	reg := new(telemetry.Registry)
+	coord, err := NewCoordinator(Config{Workers: 1, Campaign: "camp-a", Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	bad := []*frame{
+		{Type: frameHello, Shard: 0, Proto: protoVersion - 1, Campaign: "camp-a"},
+		{Type: frameHello, Shard: 0, Proto: protoVersion, Campaign: "camp-b"},
+	}
+	for i, hello := range bad {
+		conn, err := net.Dial("tcp", coord.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := writeFrame(conn, hello); err != nil {
+			t.Fatal(err)
+		}
+		conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+		if _, err := readFrame(bufio.NewReader(conn)); err == nil {
+			t.Fatalf("hello %d (proto %d, campaign %q) was welcomed",
+				i, hello.Proto, hello.Campaign)
+		}
+		conn.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Counter("fabric.handshake.rejects").Value() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("handshake rejects = %d, want 2",
+				reg.Counter("fabric.handshake.rejects").Value())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestWorkerRejectsForeignCoordinator: the handshake verifies both
+// ways — a worker refuses a welcome naming another campaign or a
+// different protocol version.
+func TestWorkerRejectsForeignCoordinator(t *testing.T) {
+	cases := []struct {
+		name    string
+		welcome frame
+		wantErr string
+	}{
+		{"foreign campaign",
+			frame{Type: frameWelcome, Proto: protoVersion, Campaign: "other", Config: &WorkerConfig{}},
+			"campaign"},
+		{"protocol skew",
+			frame{Type: frameWelcome, Proto: protoVersion + 1, Campaign: "mine", Config: &WorkerConfig{}},
+			"protocol"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ln.Close()
+			go func() {
+				conn, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				defer conn.Close()
+				br := bufio.NewReader(conn)
+				if _, err := readFrame(br); err != nil {
+					return
+				}
+				writeFrame(conn, &tc.welcome)
+				readFrame(br) // hold the conn until the worker hangs up
+			}()
+			err = RunWorker(context.Background(), ln.Addr().String(), 0, "mine")
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("worker accepted a bad welcome: err = %v, want %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestChaosWriter pins the transport fault semantics frame-by-frame:
+// drop blackholes the whole frame while reporting success, corrupt
+// flips exactly one bit, dup doubles the frame, and an unarmed injector
+// passes writes through unwrapped.
+func TestChaosWriter(t *testing.T) {
+	payload := []byte("0123456789abcdef")
+
+	t.Run("unwrapped when no net faults", func(t *testing.T) {
+		inj, err := resilience.ParseFaults("kernel.panic:1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if w := wrapChaos(&buf, inj); w != &buf {
+			t.Error("writer wrapped despite no armed net.* point")
+		}
+		if w := wrapChaos(&buf, nil); w != &buf {
+			t.Error("writer wrapped despite nil injector")
+		}
+	})
+	t.Run("drop", func(t *testing.T) {
+		inj, err := resilience.ParseFaults("net.drop:1.0,seed=1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		n, err := wrapChaos(&buf, inj).Write(payload)
+		if err != nil || n != len(payload) {
+			t.Fatalf("drop must report success: n=%d err=%v", n, err)
+		}
+		if buf.Len() != 0 {
+			t.Fatalf("dropped frame reached the wire: %d bytes", buf.Len())
+		}
+	})
+	t.Run("corrupt", func(t *testing.T) {
+		inj, err := resilience.ParseFaults("net.corrupt:1.0,seed=1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := wrapChaos(&buf, inj).Write(payload); err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(buf.Bytes(), payload) {
+			t.Fatal("corrupt left the frame intact")
+		}
+		diff := 0
+		for i := range payload {
+			if buf.Bytes()[i] != payload[i] {
+				diff++
+			}
+		}
+		if diff != 1 {
+			t.Fatalf("corrupt changed %d bytes, want exactly 1", diff)
+		}
+		if !bytes.Equal(payload, []byte("0123456789abcdef")) {
+			t.Fatal("corrupt mutated the caller's buffer")
+		}
+	})
+	t.Run("dup", func(t *testing.T) {
+		inj, err := resilience.ParseFaults("net.dup:1.0,seed=1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := wrapChaos(&buf, inj).Write(payload); err != nil {
+			t.Fatal(err)
+		}
+		if want := append(append([]byte(nil), payload...), payload...); !bytes.Equal(buf.Bytes(), want) {
+			t.Fatalf("dup wrote %d bytes, want the frame twice (%d)", buf.Len(), len(want))
+		}
+	})
+}

@@ -13,13 +13,32 @@ package fabric
 // Failure domains: each worker is monitored by a stall watchdog over
 // the heartbeat frames it sends (a SIGSTOP'd or wedged worker is
 // declared dead even while its TCP connection lingers) and by the read
-// loop (a kill-9'd worker's connection resets immediately). A dead
-// worker's in-flight spec — at most one, by the capacity discipline —
-// is requeued at the front of its home queue and redispatched to a
-// surviving worker; everything the dead worker already completed is
-// durable in its shard WAL and is never re-run. A per-worker circuit
-// breaker quarantines a worker that keeps producing non-transient
-// failures while its peers succeed (a sick sandbox, not a sick spec).
+// loop (a kill-9'd worker's connection resets immediately; a corrupt
+// frame tears the connection down at the CRC check). A dead worker's
+// in-flight spec — at most one, by the capacity discipline — is requeued
+// at the front of its home queue and redispatched to a surviving worker;
+// everything the dead worker already completed is durable in its shard
+// WAL and is never re-run. A per-worker circuit breaker quarantines a
+// worker that keeps producing non-transient failures while its peers
+// succeed (a sick sandbox, not a sick spec).
+//
+// Self-healing (the layers above mere survival):
+//
+//   - supervision — a dead or quarantined worker is respawned through
+//     Config.Spawn under a capped exponential-backoff restart budget
+//     (resilience.Policy), restoring full shard capacity instead of
+//     limping on fewer queues; the respawned process reopens its shard
+//     WAL in append mode, so completed work is never re-run;
+//   - ack/resend — assigns are acknowledged by workers and results by
+//     the coordinator; a sweeper retransmits whatever a lossy transport
+//     swallowed, so a blackholed frame costs latency, not liveness;
+//   - hedged redispatch — a spec in flight longer than HedgeFactor× the
+//     campaign's running p95 is speculatively re-dispatched to an idle
+//     worker; the first terminal result wins and the loser is canceled
+//     and its late result dropped;
+//   - graceful drain — Drain stops assignment, cancels queued work, and
+//     waits for in-flight specs to finish under the caller's deadline,
+//     so SIGTERM ends a campaign at a spec boundary with merged WALs.
 
 import (
 	"bufio"
@@ -27,7 +46,9 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"net"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -67,19 +88,50 @@ type Config struct {
 	// exercise stealing). Nil uses an FNV hash of the spec ID.
 	Assign func(id string, shards int) int
 
+	// Spawn launches (or relaunches) the worker process for a shard.
+	// When set, a dead or quarantined worker is respawned under the
+	// Respawn budget; nil disables supervision (PR 9 behavior: lost
+	// capacity stays lost).
+	Spawn func(shard int) error
+	// Respawn caps and paces respawns per shard: MaxAttempts is the
+	// cumulative restart budget (default 3 when Spawn is set), Delay
+	// paces attempts with exponential backoff and deterministic jitter.
+	Respawn resilience.Policy
+	// HedgeFactor k arms hedged redispatch: a spec in flight longer than
+	// k× the campaign's running p95 (and longer than ResendEvery) is
+	// speculatively duplicated onto an idle worker. 0 disables hedging.
+	HedgeFactor float64
+	// ResendEvery paces the retransmit sweeper for unacknowledged
+	// assigns and the hedge scan (0 = 500ms).
+	ResendEvery time.Duration
+	// Chaos is the coordinator-side fault injector: it drives the chaos
+	// transport wrapping coordinator→worker writes (net.*) and decides
+	// worker.crash at assign dispatch. Nil injects nothing.
+	Chaos *resilience.Injector
+
 	// Metrics receives the fabric.* series (nil = telemetry.Default()).
 	Metrics *telemetry.Registry
 	// Bus receives worker-lifecycle events (nil-safe).
 	Bus *telemetry.Bus
-	// Campaign is the identity stamped on bus events.
+	// Campaign is the campaign identity: stamped on bus events and
+	// verified in the hello handshake, so a stray worker from another
+	// campaign (or a stale binary speaking an old protocol) is turned
+	// away at admission.
 	Campaign string
 }
 
 // item is one submitted spec waiting for, or holding, a worker.
 type item struct {
 	spec campaign.RunSpec
+	id   string
 	home int
 	res  chan campaign.SpecResult // buffered 1: delivery never blocks
+
+	// Guarded by Coordinator.mu.
+	started time.Time     // current dispatch time (hedge age, p95 samples)
+	holders []*workerConn // workers currently running it (2 when hedged)
+	hedged  bool
+	done    bool // terminal result delivered; late duplicates drop
 }
 
 // workerConn is one connected worker.
@@ -87,21 +139,36 @@ type workerConn struct {
 	shard int
 	pid   int
 	conn  net.Conn
+	byed  chan struct{} // closed when the worker echoes bye
 
 	wmu sync.Mutex // serializes frame writes (FIFO discipline)
+	out io.Writer  // conn, chaos-wrapped after the handshake
 
 	beat atomic.Int64 // last heartbeat counter received
 
 	// Guarded by Coordinator.mu.
-	inflight *item
-	dead     bool
+	inflight    *item
+	assignAcked bool      // worker confirmed the current assign
+	lastAssign  time.Time // last (re)transmit of the current assign
+	crash       bool      // current assign carries a worker.crash fault
+	dead        bool
 
 	cancel context.CancelCauseFunc // monitor context
 	wd     *resilience.Watchdog
 }
 
-// send writes one frame under the connection's writer lock.
+// send writes one frame under the connection's writer lock, through the
+// chaos transport once the handshake has armed it.
 func (w *workerConn) send(f *frame) error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	return writeFrame(w.out, f)
+}
+
+// sendRaw writes one frame directly to the connection, bypassing chaos.
+// Administrative shutdown frames (bye) use it so a drill converges
+// instead of wedging its own teardown.
+func (w *workerConn) sendRaw(f *frame) error {
 	w.wmu.Lock()
 	defer w.wmu.Unlock()
 	return writeFrame(w.conn, f)
@@ -116,19 +183,26 @@ type Coordinator struct {
 	cfg  Config
 	ln   net.Listener
 	tele *fabricTele
+	done chan struct{} // closed by Close; stops the sweeper
 
-	mu        sync.Mutex
-	workers   map[int]*workerConn // live workers by shard
-	queues    map[int][]*item     // pending items by home shard
-	connected int                 // workers ever connected (rendezvous)
-	closed    bool
-	failed    error // set when the whole fleet is gone
+	mu              sync.Mutex
+	workers         map[int]*workerConn // live workers by shard
+	queues          map[int][]*item     // pending items by home shard
+	connected       int                 // workers ever connected (rendezvous)
+	closed          bool
+	draining        bool
+	failed          error         // set when the whole fleet is gone
+	restarts        map[int]int   // cumulative spawn attempts by shard
+	pendingRespawns int           // supervisors in flight (defers fleet-failure)
+	durations       []time.Duration // terminal-result latencies (p95 source)
 
 	ready chan struct{} // closed when all Workers shards connected
 
 	beats        atomic.Int64 // frames received: the Executor heartbeat
 	steals       atomic.Int64
 	redispatches atomic.Int64
+	respawns     atomic.Int64
+	hedges       atomic.Int64
 
 	breakers *resilience.Breaker // per-worker, keyed "shardN"
 }
@@ -148,6 +222,12 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	if cfg.Worker.HeartbeatEvery <= 0 {
 		cfg.Worker.HeartbeatEvery = 250 * time.Millisecond
 	}
+	if cfg.ResendEvery <= 0 {
+		cfg.ResendEvery = 500 * time.Millisecond
+	}
+	if cfg.Spawn != nil && cfg.Respawn.MaxAttempts == 0 {
+		cfg.Respawn.MaxAttempts = 3
+	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("fabric: listen: %w", err)
@@ -156,12 +236,15 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		cfg:      cfg,
 		ln:       ln,
 		tele:     newFabricTele(cfg.Metrics),
+		done:     make(chan struct{}),
 		workers:  map[int]*workerConn{},
 		queues:   map[int][]*item{},
+		restarts: map[int]int{},
 		ready:    make(chan struct{}),
 		breakers: resilience.NewBreaker(cfg.WorkerBreaker),
 	}
 	go c.accept()
+	go c.sweep()
 	return c, nil
 }
 
@@ -201,9 +284,19 @@ func (c *Coordinator) admit(conn net.Conn) {
 		conn.Close()
 		return
 	}
+	if f.Proto != protoVersion || f.Campaign != c.cfg.Campaign {
+		// A stale binary or a worker from another campaign: reject before
+		// it can receive (or journal) work that is not its own.
+		c.tele.rejects.Inc()
+		telemetry.L().Warn("fabric handshake rejected",
+			"shard", f.Shard, "proto", f.Proto, "want_proto", protoVersion,
+			"campaign", f.Campaign, "want_campaign", c.cfg.Campaign)
+		conn.Close()
+		return
+	}
 	conn.SetReadDeadline(time.Time{})
 
-	w := &workerConn{shard: f.Shard, pid: f.PID, conn: conn}
+	w := &workerConn{shard: f.Shard, pid: f.PID, conn: conn, out: conn, byed: make(chan struct{})}
 	c.mu.Lock()
 	if c.closed || c.workers[w.shard] != nil {
 		c.mu.Unlock()
@@ -215,10 +308,17 @@ func (c *Coordinator) admit(conn net.Conn) {
 	rendezvous := c.connected == c.cfg.Workers
 	c.mu.Unlock()
 
-	if err := w.send(&frame{Type: frameWelcome, Shard: w.shard, Config: &c.cfg.Worker}); err != nil {
+	if err := w.send(&frame{Type: frameWelcome, Shard: w.shard, Config: &c.cfg.Worker,
+		Proto: protoVersion, Campaign: c.cfg.Campaign}); err != nil {
 		c.workerDead(w, fmt.Errorf("fabric: welcome: %w", err))
 		return
 	}
+	// Arm the chaos transport only after the handshake: rendezvous has a
+	// deadline but no retransmit layer, so faulting it would turn a drill
+	// into a hang instead of a recovery.
+	w.wmu.Lock()
+	w.out = wrapChaos(conn, c.cfg.Chaos)
+	w.wmu.Unlock()
 	if rendezvous {
 		close(c.ready)
 	}
@@ -249,6 +349,11 @@ func (c *Coordinator) admit(conn net.Conn) {
 	for {
 		f, err := readFrame(br)
 		if err != nil {
+			if errors.Is(err, errFrameChecksum) {
+				// The stream is poisoned, not the process: count it, tear
+				// down this connection, and let redispatch + respawn heal.
+				c.tele.corrupt.Inc()
+			}
 			c.workerDead(w, fmt.Errorf("fabric: worker %s connection: %w", w.name(), err))
 			return
 		}
@@ -257,8 +362,25 @@ func (c *Coordinator) admit(conn net.Conn) {
 			c.beats.Add(1)
 			c.tele.heartbeats.Inc()
 			w.beat.Store(f.Beat)
+		case frameAck:
+			c.mu.Lock()
+			if w.inflight != nil && w.inflight.id == f.ID {
+				w.assignAcked = true
+			}
+			c.mu.Unlock()
 		case frameResult:
+			if f.Result != nil {
+				// Ack unconditionally — even a dropped duplicate or a hedge
+				// loser's result — so the worker's resend loop quiesces.
+				w.send(&frame{Type: frameAck, ID: f.Result.ID})
+			}
 			c.handleResult(w, f.Result)
+		case frameBye:
+			select {
+			case <-w.byed:
+			default:
+				close(w.byed)
+			}
 		}
 	}
 }
@@ -279,8 +401,14 @@ func (c *Coordinator) homeShard(id string) int {
 // reports its terminal result (or ctx cancels). Part of
 // campaign.Executor.
 func (c *Coordinator) Submit(ctx context.Context, spec campaign.RunSpec) campaign.SpecResult {
-	it := &item{spec: spec, home: c.homeShard(spec.ID()), res: make(chan campaign.SpecResult, 1)}
+	it := &item{spec: spec, id: spec.ID(), home: c.homeShard(spec.ID()),
+		res: make(chan campaign.SpecResult, 1)}
 	c.mu.Lock()
+	if c.draining {
+		c.mu.Unlock()
+		return campaign.SpecResult{Spec: spec, Status: campaign.StatusCanceled,
+			Err: errors.New("fabric: draining, no new work accepted")}
+	}
 	if c.closed || c.failed != nil {
 		err := c.failed
 		c.mu.Unlock()
@@ -320,6 +448,7 @@ type assignment struct {
 	w      *workerConn
 	it     *item
 	stolen bool
+	crash  bool
 }
 
 // kick dispatches until no free worker can be matched with pending
@@ -329,6 +458,12 @@ func (c *Coordinator) kick() {
 	for {
 		c.mu.Lock()
 		asg := c.pickLocked()
+		if asg != nil && c.cfg.Chaos.Fire(resilience.FaultWorkerCrash) {
+			// The worker.crash decision is made here, coordinator-side, so
+			// its count is campaign-global: a respawned worker does not
+			// re-evaluate a budget the fleet already spent.
+			asg.crash, asg.w.crash = true, true
+		}
 		c.mu.Unlock()
 		if asg == nil {
 			return
@@ -342,7 +477,7 @@ func (c *Coordinator) kick() {
 				Worker: asg.w.name(), Shard: asg.w.shard, Run: asg.it.spec.ID(),
 			})
 		}
-		if err := asg.w.send(&frame{Type: frameAssign, Spec: &asg.it.spec}); err != nil {
+		if err := asg.w.send(&frame{Type: frameAssign, Spec: &asg.it.spec, Crash: asg.crash}); err != nil {
 			c.workerDead(asg.w, fmt.Errorf("fabric: assign to %s: %w", asg.w.name(), err))
 		}
 	}
@@ -350,8 +485,12 @@ func (c *Coordinator) kick() {
 
 // pickLocked matches the lowest-numbered free worker with work: its own
 // queue first (FIFO), else a steal from the longest queue (ties to the
-// lowest shard) — deterministic given the same event order.
+// lowest shard) — deterministic given the same event order. Returns nil
+// while draining: drain's contract is that assignment stops.
 func (c *Coordinator) pickLocked() *assignment {
+	if c.draining {
+		return nil
+	}
 	for s := 0; s < c.cfg.Workers; s++ {
 		w := c.workers[s]
 		if w == nil || w.dead || w.inflight != nil {
@@ -360,7 +499,7 @@ func (c *Coordinator) pickLocked() *assignment {
 		if q := c.queues[s]; len(q) > 0 {
 			it := q[0]
 			c.queues[s] = q[1:]
-			w.inflight = it
+			c.dispatchLocked(w, it)
 			return &assignment{w: w, it: it}
 		}
 		// Steal: the longest foreign queue keeps the fleet busy when the
@@ -376,14 +515,24 @@ func (c *Coordinator) pickLocked() *assignment {
 		}
 		it := c.queues[victim][0]
 		c.queues[victim] = c.queues[victim][1:]
-		w.inflight = it
+		c.dispatchLocked(w, it)
 		return &assignment{w: w, it: it, stolen: true}
 	}
 	return nil
 }
 
+// dispatchLocked binds an item to a worker as its primary dispatch.
+func (c *Coordinator) dispatchLocked(w *workerConn, it *item) {
+	w.inflight = it
+	w.assignAcked = false
+	w.crash = false
+	w.lastAssign = time.Now()
+	it.started = w.lastAssign
+	it.holders = append(it.holders[:0], w)
+}
+
 // handleResult resolves a worker's in-flight item with its terminal
-// result and feeds the per-worker breaker.
+// result, cancels any hedge loser, and feeds the per-worker breaker.
 func (c *Coordinator) handleResult(w *workerConn, r *wireResult) {
 	if r == nil {
 		return
@@ -391,17 +540,40 @@ func (c *Coordinator) handleResult(w *workerConn, r *wireResult) {
 	c.beats.Add(1)
 	c.mu.Lock()
 	it := w.inflight
-	if it == nil || it.spec.ID() != r.ID {
+	if it == nil || it.id != r.ID {
 		// A frame for work this worker no longer owns (it was declared
-		// dead and revived, or double-sent): drop it — the redispatched
-		// copy is authoritative, and the shard WAL merge reconciles the
-		// duplicate outcome.
+		// dead and revived, a canceled hedge, or a duplicate): drop it —
+		// the authoritative copy already resolved, and the shard WAL merge
+		// reconciles the duplicate outcome.
 		c.mu.Unlock()
 		return
 	}
 	w.inflight = nil
+	w.assignAcked = false
+	w.crash = false
+	if it.done {
+		// Hedge loser crossing the winner on the wire: drop, free the
+		// worker for new work.
+		c.mu.Unlock()
+		c.kick()
+		return
+	}
+	it.done = true
+	var losers []*workerConn
+	for _, h := range it.holders {
+		if h != w && h.inflight == it {
+			h.inflight = nil
+			h.assignAcked = false
+			losers = append(losers, h)
+		}
+	}
+	it.holders = nil
+	c.durations = append(c.durations, time.Since(it.started))
 	c.mu.Unlock()
 
+	for _, l := range losers {
+		l.send(&frame{Type: frameCancel, ID: it.id})
+	}
 	sr := r.toSpecResult(it.spec)
 	c.tele.result(sr.Status).Inc()
 
@@ -422,9 +594,11 @@ func (c *Coordinator) handleResult(w *workerConn, r *wireResult) {
 }
 
 // workerDead removes a worker from the fleet: its in-flight item — at
-// most one — is requeued at the front of its home queue for redispatch,
-// and everything the worker already completed stays durable in its
-// shard WAL. Idempotent per worker; a no-op during Close.
+// most one — is requeued at the front of its home queue for redispatch
+// (unless a hedge twin still runs it, or a drain is in progress), and
+// everything the worker already completed stays durable in its shard
+// WAL. When Config.Spawn is set, a supervisor respawns the shard under
+// the restart budget. Idempotent per worker; a no-op during Close.
 func (c *Coordinator) workerDead(w *workerConn, cause error) {
 	c.mu.Lock()
 	if w.dead || c.closed {
@@ -436,20 +610,34 @@ func (c *Coordinator) workerDead(w *workerConn, cause error) {
 	delete(c.workers, w.shard)
 	it := w.inflight
 	w.inflight = nil
+	var drainCanceled *item
 	if it != nil {
-		c.redispatches.Add(1)
-		c.tele.redispatches.Inc()
-		c.queues[it.home] = append([]*item{it}, c.queues[it.home]...)
-	}
-	var orphans []*item
-	if len(c.workers) == 0 && c.connected >= c.cfg.Workers {
-		// The whole fleet is gone: nothing will ever run the queues.
-		c.failed = fmt.Errorf("fabric: all workers dead (last: %w)", cause)
-		for s, q := range c.queues {
-			orphans = append(orphans, q...)
-			c.queues[s] = nil
+		for i, h := range it.holders {
+			if h == w {
+				it.holders = append(it.holders[:i:i], it.holders[i+1:]...)
+				break
+			}
+		}
+		switch {
+		case it.done || len(it.holders) > 0:
+			// Already resolved, or a hedge twin still runs it: nothing to
+			// redispatch.
+			it = nil
+		case c.draining:
+			// Drain stopped assignment; requeueing would strand the item.
+			drainCanceled, it = it, nil
+		default:
+			c.redispatches.Add(1)
+			c.tele.redispatches.Inc()
+			c.queues[it.home] = append([]*item{it}, c.queues[it.home]...)
 		}
 	}
+	respawn := false
+	if c.cfg.Spawn != nil && !c.draining && c.restarts[w.shard] < c.cfg.Respawn.Attempts() {
+		respawn = true
+		c.pendingRespawns++
+	}
+	orphans := c.fleetFailCheckLocked(cause)
 	c.mu.Unlock()
 
 	w.conn.Close()
@@ -467,7 +655,7 @@ func (c *Coordinator) workerDead(w *workerConn, cause error) {
 		ev.Err = cause.Error()
 	}
 	if it != nil {
-		ev.Run = it.spec.ID()
+		ev.Run = it.id
 	}
 	c.cfg.Bus.Publish(ev)
 	if cause == nil {
@@ -475,21 +663,284 @@ func (c *Coordinator) workerDead(w *workerConn, cause error) {
 	}
 	inflight := ""
 	if it != nil {
-		inflight = it.spec.ID()
+		inflight = it.id
 	}
 	telemetry.L().Warn("fabric worker dead",
 		"worker", w.name(), "cause", cause, "redispatching", inflight)
-	for _, o := range orphans {
-		o.res <- campaign.SpecResult{Spec: o.spec, Status: campaign.StatusFailed,
-			Err: fmt.Errorf("fabric: %s never ran: %w", o.spec.ID(), c.failedErr())}
+	if drainCanceled != nil {
+		drainCanceled.res <- campaign.SpecResult{Spec: drainCanceled.spec,
+			Status: campaign.StatusCanceled,
+			Err:    fmt.Errorf("fabric: worker %s died during drain: %w", w.name(), cause)}
+	}
+	c.resolveOrphans(orphans)
+	if respawn {
+		go c.supervise(w.shard)
 	}
 	c.kick()
+}
+
+// fleetFailCheckLocked declares fleet failure when no worker is live,
+// none is being respawned, and the fleet had fully formed — nothing will
+// ever run the queues. It returns the orphaned items for resolution
+// outside the lock.
+func (c *Coordinator) fleetFailCheckLocked(cause error) []*item {
+	if len(c.workers) > 0 || c.pendingRespawns > 0 || c.connected < c.cfg.Workers ||
+		c.failed != nil || c.closed {
+		return nil
+	}
+	c.failed = fmt.Errorf("fabric: all workers dead (last: %w)", cause)
+	var orphans []*item
+	for s, q := range c.queues {
+		orphans = append(orphans, q...)
+		c.queues[s] = nil
+	}
+	return orphans
+}
+
+func (c *Coordinator) resolveOrphans(orphans []*item) {
+	for _, o := range orphans {
+		o.res <- campaign.SpecResult{Spec: o.spec, Status: campaign.StatusFailed,
+			Err: fmt.Errorf("fabric: %s never ran: %w", o.id, c.failedErr())}
+	}
+}
+
+// supervise respawns one shard's worker: backoff, spawn, await
+// admission; repeat until admitted or the cumulative restart budget is
+// spent. One supervisor runs per death (pendingRespawns holds off
+// fleet-failure while any is in flight).
+func (c *Coordinator) supervise(shard int) {
+	admitted := false
+	name := "shard" + strconv.Itoa(shard)
+	for !admitted {
+		c.mu.Lock()
+		if c.closed || c.draining || c.restarts[shard] >= c.cfg.Respawn.Attempts() {
+			c.mu.Unlock()
+			break
+		}
+		c.restarts[shard]++
+		attempt := c.restarts[shard]
+		c.mu.Unlock()
+
+		time.Sleep(c.cfg.Respawn.Delay(attempt, uint64(shard)))
+		c.cfg.Bus.Publish(telemetry.Event{
+			Type: "worker", Campaign: c.cfg.Campaign, Status: "respawning",
+			Worker: name, Shard: shard, Attempts: attempt,
+		})
+		if err := c.cfg.Spawn(shard); err != nil {
+			telemetry.L().Warn("fabric respawn failed",
+				"worker", name, "attempt", attempt, "err", err)
+			continue
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			c.mu.Lock()
+			alive := c.workers[shard] != nil
+			closed := c.closed
+			c.mu.Unlock()
+			if alive {
+				admitted = true
+				break
+			}
+			if closed {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if admitted {
+			c.respawns.Add(1)
+			c.tele.respawns.Inc()
+			c.cfg.Bus.Publish(telemetry.Event{
+				Type: "worker", Campaign: c.cfg.Campaign, Status: "respawned",
+				Worker: name, Shard: shard, Attempts: attempt,
+			})
+			telemetry.L().Info("fabric worker respawned", "worker", name, "attempt", attempt)
+		}
+	}
+
+	c.mu.Lock()
+	c.pendingRespawns--
+	var orphans []*item
+	if !admitted {
+		orphans = c.fleetFailCheckLocked(errors.New("respawn budget exhausted"))
+	}
+	c.mu.Unlock()
+	if !admitted {
+		telemetry.L().Warn("fabric respawn gave up", "worker", name)
+		c.resolveOrphans(orphans)
+	}
+	c.kick()
+}
+
+// sweep is the retransmit + hedge loop: every ResendEvery it resends
+// unacknowledged assigns (the recovery path for blackholed frames) and
+// hedges specs in flight longer than HedgeFactor× the running p95 onto
+// idle workers.
+func (c *Coordinator) sweep() {
+	t := time.NewTicker(c.cfg.ResendEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-t.C:
+		}
+		type send struct {
+			w *workerConn
+			f *frame
+		}
+		var resends []send
+		var hedged []send
+		now := time.Now()
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		for _, w := range c.workers {
+			it := w.inflight
+			if w.dead || it == nil || w.assignAcked {
+				continue
+			}
+			if now.Sub(w.lastAssign) >= c.cfg.ResendEvery {
+				w.lastAssign = now
+				resends = append(resends, send{w, &frame{Type: frameAssign, Spec: &it.spec, Crash: w.crash}})
+			}
+		}
+		if c.cfg.HedgeFactor > 0 && !c.draining {
+			if p95, ok := c.p95Locked(); ok {
+				threshold := time.Duration(float64(p95) * c.cfg.HedgeFactor)
+				// Floor at the sweep period: hedging below measurement
+				// granularity would thrash on fast specs.
+				if threshold < c.cfg.ResendEvery {
+					threshold = c.cfg.ResendEvery
+				}
+				for s := 0; s < c.cfg.Workers; s++ {
+					w := c.workers[s]
+					if w == nil || w.dead || w.inflight == nil {
+						continue
+					}
+					it := w.inflight
+					if it.hedged || it.done || now.Sub(it.started) < threshold {
+						continue
+					}
+					h := c.idleLocked()
+					if h == nil {
+						break
+					}
+					it.hedged = true
+					it.holders = append(it.holders, h)
+					h.inflight = it
+					h.assignAcked = false
+					h.crash = false
+					h.lastAssign = now
+					hedged = append(hedged, send{h, &frame{Type: frameAssign, Spec: &it.spec}})
+				}
+			}
+		}
+		c.mu.Unlock()
+		for _, r := range resends {
+			c.tele.resends.Inc()
+			if err := r.w.send(r.f); err != nil {
+				c.workerDead(r.w, fmt.Errorf("fabric: resend to %s: %w", r.w.name(), err))
+			}
+		}
+		for _, h := range hedged {
+			c.hedges.Add(1)
+			c.tele.hedges.Inc()
+			c.cfg.Bus.Publish(telemetry.Event{
+				Type: "worker", Campaign: c.cfg.Campaign, Status: "hedged",
+				Worker: h.w.name(), Shard: h.w.shard, Run: h.f.Spec.ID(),
+			})
+			telemetry.L().Info("fabric hedged redispatch",
+				"run", h.f.Spec.ID(), "worker", h.w.name())
+			if err := h.w.send(h.f); err != nil {
+				c.workerDead(h.w, fmt.Errorf("fabric: hedge to %s: %w", h.w.name(), err))
+			}
+		}
+	}
+}
+
+// idleLocked returns the lowest-numbered live worker with nothing in
+// flight, or nil.
+func (c *Coordinator) idleLocked() *workerConn {
+	for s := 0; s < c.cfg.Workers; s++ {
+		if w := c.workers[s]; w != nil && !w.dead && w.inflight == nil {
+			return w
+		}
+	}
+	return nil
+}
+
+// p95Locked estimates the campaign's running 95th-percentile spec
+// latency; ok is false until enough samples exist to hedge against.
+func (c *Coordinator) p95Locked() (time.Duration, bool) {
+	if len(c.durations) < 3 {
+		return 0, false
+	}
+	ds := append([]time.Duration(nil), c.durations...)
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds[len(ds)*95/100], true
 }
 
 func (c *Coordinator) failedErr() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.failed
+}
+
+// Drain stops assignment and waits for in-flight specs to finish under
+// ctx's deadline — the graceful half of SIGTERM. Queued-but-undispatched
+// work resolves canceled immediately (resume re-runs it); in-flight
+// specs run to their terminal result, so the campaign ends at a spec
+// boundary with every outcome durable in its shard WAL. Part of the
+// campaign.Drainer capability.
+func (c *Coordinator) Drain(ctx context.Context) error {
+	c.mu.Lock()
+	if c.closed || c.draining {
+		c.mu.Unlock()
+		return nil
+	}
+	c.draining = true
+	var queued []*item
+	for s, q := range c.queues {
+		queued = append(queued, q...)
+		c.queues[s] = nil
+	}
+	c.mu.Unlock()
+
+	c.cfg.Bus.Publish(telemetry.Event{
+		Type: "campaign", Campaign: c.cfg.Campaign, Status: "draining",
+	})
+	telemetry.L().Info("fabric draining", "queued_canceled", len(queued))
+	errDrain := errors.New("fabric: drained before dispatch")
+	for _, it := range queued {
+		it.res <- campaign.SpecResult{Spec: it.spec, Status: campaign.StatusCanceled, Err: errDrain}
+	}
+
+	t := time.NewTicker(20 * time.Millisecond)
+	defer t.Stop()
+	for {
+		c.mu.Lock()
+		n := 0
+		for _, w := range c.workers {
+			if w.inflight != nil && !w.inflight.done {
+				n++
+			}
+		}
+		c.mu.Unlock()
+		if n == 0 {
+			c.cfg.Bus.Publish(telemetry.Event{
+				Type: "campaign", Campaign: c.cfg.Campaign, Status: "drained",
+			})
+			telemetry.L().Info("fabric drained")
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("fabric: drain: %d specs still in flight: %w", n, context.Cause(ctx))
+		case <-t.C:
+		}
+	}
 }
 
 // Heartbeat aggregates liveness across the fleet: every heartbeat and
@@ -503,9 +954,23 @@ func (c *Coordinator) Steals() int64 { return c.steals.Load() }
 // Redispatches counts in-flight specs re-run because their worker died.
 func (c *Coordinator) Redispatches() int64 { return c.redispatches.Load() }
 
-// Close dismisses the fleet: best-effort bye frames, connections and
-// listener closed, anything still queued resolved as canceled.
-// Idempotent. Part of campaign.Executor.
+// Respawns counts workers successfully respawned by supervision.
+func (c *Coordinator) Respawns() int64 { return c.respawns.Load() }
+
+// Hedges counts speculative redispatches of slow in-flight specs.
+func (c *Coordinator) Hedges() int64 { return c.hedges.Load() }
+
+// LiveWorkers is the current live fleet size.
+func (c *Coordinator) LiveWorkers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.workers)
+}
+
+// Close dismisses the fleet: bye frames exchanged (workers echo bye
+// after finishing their in-flight run, waited on briefly so sockets die
+// at frame boundaries), connections and listener closed, anything still
+// queued resolved as canceled. Idempotent. Part of campaign.Executor.
 func (c *Coordinator) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -523,9 +988,21 @@ func (c *Coordinator) Close() error {
 		c.queues[s] = nil
 	}
 	c.mu.Unlock()
+	close(c.done)
 
 	for _, w := range ws {
-		w.send(&frame{Type: frameBye})
+		w.sendRaw(&frame{Type: frameBye})
+	}
+	deadline := time.NewTimer(time.Second)
+	defer deadline.Stop()
+	for _, w := range ws {
+		select {
+		case <-w.byed:
+		case <-deadline.C:
+			// A wedged or chaos-starved worker: close its socket anyway.
+		}
+	}
+	for _, w := range ws {
 		w.conn.Close()
 		if w.cancel != nil {
 			w.cancel(errWorkerDone)
@@ -553,6 +1030,11 @@ type fabricTele struct {
 	steals       *telemetry.Counter // fabric.steals
 	redispatches *telemetry.Counter // fabric.redispatches
 	deaths       *telemetry.Counter // fabric.worker.deaths
+	respawns     *telemetry.Counter // fabric.worker.respawns
+	hedges       *telemetry.Counter // fabric.hedges
+	resends      *telemetry.Counter // fabric.resends
+	corrupt      *telemetry.Counter // fabric.frames.corrupt
+	rejects      *telemetry.Counter // fabric.handshake.rejects
 }
 
 func newFabricTele(reg *telemetry.Registry) *fabricTele {
@@ -566,6 +1048,11 @@ func newFabricTele(reg *telemetry.Registry) *fabricTele {
 		steals:       reg.Counter("fabric.steals"),
 		redispatches: reg.Counter("fabric.redispatches"),
 		deaths:       reg.Counter("fabric.worker.deaths"),
+		respawns:     reg.Counter("fabric.worker.respawns"),
+		hedges:       reg.Counter("fabric.hedges"),
+		resends:      reg.Counter("fabric.resends"),
+		corrupt:      reg.Counter("fabric.frames.corrupt"),
+		rejects:      reg.Counter("fabric.handshake.rejects"),
 	}
 }
 

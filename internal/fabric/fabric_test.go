@@ -13,6 +13,7 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"os/exec"
@@ -33,8 +34,9 @@ import (
 // Worker-mode re-exec: when these env vars are set, the test binary is
 // one of the fleet's worker processes, not a test run.
 const (
-	envWorkerAddr  = "RAJAPERF_FABRIC_WORKER"
-	envWorkerShard = "RAJAPERF_FABRIC_SHARD"
+	envWorkerAddr     = "RAJAPERF_FABRIC_WORKER"
+	envWorkerShard    = "RAJAPERF_FABRIC_SHARD"
+	envWorkerCampaign = "RAJAPERF_FABRIC_CAMPAIGN"
 )
 
 func TestMain(m *testing.M) {
@@ -44,7 +46,7 @@ func TestMain(m *testing.M) {
 			fmt.Fprintln(os.Stderr, "fabric worker:", err)
 			os.Exit(2)
 		}
-		if err := RunWorker(context.Background(), addr, shard); err != nil {
+		if err := RunWorker(context.Background(), addr, shard, os.Getenv(envWorkerCampaign)); err != nil {
 			fmt.Fprintln(os.Stderr, "fabric worker:", err)
 			os.Exit(1)
 		}
@@ -53,32 +55,60 @@ func TestMain(m *testing.M) {
 	os.Exit(m.Run())
 }
 
-// fleet is one coordinator plus its forked worker processes.
+// fleet is one coordinator plus its forked worker processes (initial and
+// respawned).
 type fleet struct {
 	coord *Coordinator
-	cmds  []*exec.Cmd
+
+	mu   sync.Mutex
+	addr string // guarded: respawn supervisors read it from coordinator goroutines
+	cmds []*exec.Cmd
+}
+
+// spawn forks one worker process of this test binary for the shard.
+func (f *fleet) spawn(shard int, campaignID string) error {
+	f.mu.Lock()
+	addr := f.addr
+	f.mu.Unlock()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		envWorkerAddr+"="+addr,
+		envWorkerShard+"="+strconv.Itoa(shard),
+		envWorkerCampaign+"="+campaignID)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	f.cmds = append(f.cmds, cmd)
+	f.mu.Unlock()
+	return nil
 }
 
 // startFleet builds a coordinator from cfg and forks cfg.Workers worker
-// processes of this test binary, blocking until rendezvous.
+// processes of this test binary, blocking until rendezvous. Setting
+// cfg.Respawn.MaxAttempts arms supervision: the coordinator respawns
+// dead workers through the same fork path.
 func startFleet(t testing.TB, cfg Config) *fleet {
 	t.Helper()
+	f := &fleet{}
+	if cfg.Respawn.MaxAttempts > 0 {
+		campaignID := cfg.Campaign
+		cfg.Spawn = func(shard int) error { return f.spawn(shard, campaignID) }
+	}
 	coord, err := NewCoordinator(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	f := &fleet{coord: coord}
+	f.coord = coord
+	f.mu.Lock()
+	f.addr = coord.Addr()
+	f.mu.Unlock()
 	t.Cleanup(func() { f.stop() })
 	for i := 0; i < cfg.Workers; i++ {
-		cmd := exec.Command(os.Args[0])
-		cmd.Env = append(os.Environ(),
-			envWorkerAddr+"="+coord.Addr(),
-			envWorkerShard+"="+strconv.Itoa(i))
-		cmd.Stderr = os.Stderr
-		if err := cmd.Start(); err != nil {
+		if err := f.spawn(i, cfg.Campaign); err != nil {
 			t.Fatalf("start worker %d: %v", i, err)
 		}
-		f.cmds = append(f.cmds, cmd)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
@@ -91,7 +121,11 @@ func startFleet(t testing.TB, cfg Config) *fleet {
 // stop dismisses the fleet and reaps the worker processes. Idempotent.
 func (f *fleet) stop() {
 	f.coord.Close()
-	for _, cmd := range f.cmds {
+	f.mu.Lock()
+	cmds := f.cmds
+	f.cmds = nil
+	f.mu.Unlock()
+	for _, cmd := range cmds {
 		done := make(chan struct{})
 		go func(c *exec.Cmd) {
 			defer close(done)
@@ -106,7 +140,6 @@ func (f *fleet) stop() {
 			<-done
 		}
 	}
-	f.cmds = nil
 }
 
 // testPlan is the acceptance campaign: 8 specs of executed stream
@@ -359,7 +392,9 @@ func TestFabricKilledWorker(t *testing.T) {
 			// the third Submit's dispatch (published just before it) settle.
 			if !killed && running-finished == 3 && fl != nil {
 				killed = true
+				fl.mu.Lock()
 				victim := fl.cmds[2].Process
+				fl.mu.Unlock()
 				go func() {
 					time.Sleep(20 * time.Millisecond)
 					victim.Kill()
@@ -473,6 +508,17 @@ func TestFrameRoundtrip(t *testing.T) {
 	r = bufio.NewReader(bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff}))
 	if _, err := readFrame(r); err == nil {
 		t.Fatal("oversized frame must error")
+	}
+	// A flipped bit anywhere in the body fails the CRC trailer with the
+	// sentinel the coordinator counts corrupt frames by.
+	buf.Reset()
+	if err := writeFrame(&buf, &frame{Type: frameHeartbeat, Beat: 9}); err != nil {
+		t.Fatal(err)
+	}
+	poisoned := buf.Bytes()
+	poisoned[len(poisoned)/2] ^= 0x40
+	if _, err := readFrame(bufio.NewReader(bytes.NewReader(poisoned))); !errors.Is(err, errFrameChecksum) {
+		t.Fatalf("bit-flipped frame: err = %v, want errFrameChecksum", err)
 	}
 }
 

@@ -1,0 +1,83 @@
+package fabric
+
+// Wire-format fuzzing: readFrame is the fabric's only parser of bytes
+// from the network, and the chaos transport guarantees it will see
+// torn, duplicated, and bit-flipped input. For arbitrary bytes it must
+// return an error or a valid frame — never panic, never allocate past
+// maxFrame — and any frame it accepts must re-encode and re-decode to
+// itself (the stream stays framed; no desynchronization).
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"reflect"
+	"testing"
+	"time"
+
+	"rajaperf/internal/campaign"
+)
+
+func FuzzFrame(f *testing.F) {
+	seed := func(fr *frame) []byte {
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, fr); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	spec := campaign.RunSpec{Machine: "SPR-DDR", Variant: "RAJA_Seq", Size: 10_000, Schedule: "default"}
+	f.Add(seed(&frame{Type: frameHello, Shard: 2, PID: 99, Proto: protoVersion, Campaign: "fuzz"}))
+	f.Add(seed(&frame{Type: frameWelcome, Proto: protoVersion, Campaign: "fuzz",
+		Config: &WorkerConfig{OutDir: "/tmp/x", MaxAttempts: 2, HeartbeatEvery: time.Second}}))
+	f.Add(seed(&frame{Type: frameAssign, Spec: &spec, Crash: true}))
+	f.Add(seed(&frame{Type: frameResult,
+		Result: &wireResult{ID: spec.ID(), Status: campaign.StatusDone, Attempts: 1}}))
+	f.Add(seed(&frame{Type: frameAck, ID: spec.ID()}))
+	f.Add(seed(&frame{Type: frameHeartbeat, Beat: 42}))
+
+	// Torn: the length prefix promises more bytes than arrive.
+	f.Add([]byte{0, 0, 0, 10, 'x'})
+	// Oversized: a corrupt length must error, not allocate 4 GiB.
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0})
+	var huge [8]byte
+	binary.BigEndian.PutUint32(huge[:4], maxFrame+1)
+	f.Add(huge[:])
+	// Bit-flipped: body corruption the CRC trailer must catch.
+	flipped := seed(&frame{Type: frameBye})
+	flipped[len(flipped)/2] ^= 0x01
+	f.Add(flipped)
+	// CRC-valid but not a JSON object.
+	junk := []byte("not json")
+	framed := make([]byte, 4+len(junk)+4)
+	binary.BigEndian.PutUint32(framed[:4], uint32(len(junk)))
+	copy(framed[4:], junk)
+	binary.BigEndian.PutUint32(framed[4+len(junk):], crc32.Checksum(junk, castagnoli))
+	f.Add(framed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := readFrame(bufio.NewReader(bytes.NewReader(data)))
+		if err != nil {
+			return // torn, oversized, corrupt, or malformed: rejected, not panicked
+		}
+		if fr == nil {
+			t.Fatal("readFrame returned neither frame nor error")
+		}
+		// Accepted frames must survive the wire again, unchanged.
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, fr); err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		if buf.Len() > maxFrame+8 {
+			t.Fatalf("re-encoded frame is %d bytes, past maxFrame", buf.Len())
+		}
+		fr2, err := readFrame(bufio.NewReader(&buf))
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(fr, fr2) {
+			t.Fatalf("frame changed across re-encode:\nfirst  %+v\nsecond %+v", fr, fr2)
+		}
+	})
+}

@@ -47,15 +47,55 @@ const (
 	// FaultCorruptProfile corrupts a recorded profile's bytes after the
 	// write (record layer), exercising quarantine + lenient reads.
 	FaultCorruptProfile = "profile.corrupt"
+	// FaultNetDelay delays one fabric frame write (transport layer),
+	// modeling network latency spikes.
+	FaultNetDelay = "net.delay"
+	// FaultNetDrop blackholes one fabric frame write (transport layer):
+	// the bytes vanish, modeling packet loss or a partition. The fabric's
+	// ack/resend and hedging layers must converge anyway.
+	FaultNetDrop = "net.drop"
+	// FaultNetDup writes one fabric frame twice (transport layer);
+	// receivers must deduplicate.
+	FaultNetDup = "net.dup"
+	// FaultNetCorrupt flips one bit of a fabric frame (transport layer);
+	// the CRC trailer must catch it and tear down that connection only.
+	FaultNetCorrupt = "net.corrupt"
+	// FaultWorkerCrash crashes the worker process an assignment lands on
+	// (fabric coordinator layer), exercising redispatch and respawn.
+	FaultWorkerCrash = "worker.crash"
 )
 
-// Points lists the fault-point catalog, sorted by name.
-func Points() []string {
-	ps := []string{
-		FaultKernelPanic, FaultSlowLane, FaultRunTransient,
-		FaultTornManifest, FaultCorruptProfile,
+// Point describes one catalog entry: its stable name and a one-line
+// operator-facing description (`rajaperf -faults list`).
+type Point struct {
+	Name, Desc string
+}
+
+// Catalog lists every fault point with its description, sorted by name.
+func Catalog() []Point {
+	ps := []Point{
+		{FaultKernelPanic, "panic inside a kernel's execution path (per-kernel isolation, run retry)"},
+		{FaultSlowLane, "wedge a kernel until its run is canceled (watchdog stall detection)"},
+		{FaultRunTransient, "fail a run attempt with a transient error before it starts (retry/backoff)"},
+		{FaultTornManifest, "truncate one manifest WAL append mid-record (crash-consistent recovery)"},
+		{FaultCorruptProfile, "corrupt a recorded profile's bytes after the write (quarantine, lenient reads)"},
+		{FaultNetDelay, "delay one fabric frame write (network latency spike)"},
+		{FaultNetDrop, "blackhole one fabric frame write (packet loss / partition; ack+resend converges)"},
+		{FaultNetDup, "write one fabric frame twice (receivers deduplicate)"},
+		{FaultNetCorrupt, "flip one bit of a fabric frame (CRC teardown of that connection only)"},
+		{FaultWorkerCrash, "crash the worker process an assignment lands on (redispatch + respawn)"},
 	}
-	sort.Strings(ps)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Name < ps[j].Name })
+	return ps
+}
+
+// Points lists the fault-point catalog names, sorted.
+func Points() []string {
+	cat := Catalog()
+	ps := make([]string, len(cat))
+	for i, p := range cat {
+		ps[i] = p.Name
+	}
 	return ps
 }
 
@@ -93,8 +133,9 @@ type Injector struct {
 // where point is a catalog name (Points), and arg is either a
 // probability — a float in [0,1] containing a '.' — or a positive
 // integer count meaning "fire the first N evaluations". A bare point
-// fires on every evaluation. An empty spec returns (nil, nil): no
-// injection.
+// fires on every evaluation. '=' is accepted as an alias for ':'
+// ("net.corrupt=0.01" ≡ "net.corrupt:0.01"). An empty spec returns
+// (nil, nil): no injection.
 //
 //	"run.transient:0.3,seed=42"   30% of run attempts fail transiently
 //	"manifest.torn:1"             exactly the first journal append tears
@@ -123,6 +164,11 @@ func ParseFaults(spec string) (*Injector, error) {
 			continue
 		}
 		name, arg, hasArg := strings.Cut(term, ":")
+		if !hasArg {
+			// '=' alias, checked after the seed= prefix above so the seed
+			// term never reaches here.
+			name, arg, hasArg = strings.Cut(term, "=")
+		}
 		if !catalog[name] {
 			return nil, fmt.Errorf("resilience: unknown fault point %q (catalog: %s)",
 				name, strings.Join(Points(), ", "))

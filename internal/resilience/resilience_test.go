@@ -27,6 +27,45 @@ func TestParseFaultsRejectsBadSpecs(t *testing.T) {
 	}
 }
 
+func TestCatalogCoversEveryPoint(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != len(Points()) {
+		t.Fatalf("Catalog has %d entries, Points %d", len(cat), len(Points()))
+	}
+	for i, p := range cat {
+		if p.Name == "" || p.Desc == "" {
+			t.Errorf("catalog entry %d incomplete: %+v", i, p)
+		}
+		if p.Name != Points()[i] {
+			t.Errorf("catalog order diverges from Points at %d: %s vs %s", i, p.Name, Points()[i])
+		}
+		// Every cataloged point parses as a bare spec term.
+		if _, err := ParseFaults(p.Name); err != nil {
+			t.Errorf("cataloged point %s does not parse: %v", p.Name, err)
+		}
+	}
+}
+
+func TestParseFaultsEqualsAlias(t *testing.T) {
+	in, err := ParseFaults("net.corrupt=0.25,worker.crash=2,seed=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Enabled(FaultNetCorrupt) || !in.Enabled(FaultWorkerCrash) {
+		t.Fatal("'=' alias terms not armed")
+	}
+	// Count mode via '=' behaves identically to ':'.
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if in.Fire(FaultWorkerCrash) {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Errorf("worker.crash=2 fired %d times, want 2", fired)
+	}
+}
+
 func TestParseFaultsEmptyMeansNoInjection(t *testing.T) {
 	in, err := ParseFaults("")
 	if err != nil || in != nil {
